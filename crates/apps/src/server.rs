@@ -1,0 +1,259 @@
+//! The IM server's view: expiration timers and online status.
+//!
+//! §II-A: *"IM servers set expiration timers to determine a client is
+//! online or not. In order to maintain online status, IM apps send
+//! heartbeat messages frequently to reset the expiration timers."* The
+//! [`ImServer`] tracks, per `(device, app)`, when the last heartbeat
+//! arrived, so experiments can check that a scheduling policy never lets
+//! presence lapse — the user-visible correctness criterion of the whole
+//! framework.
+
+use std::collections::BTreeMap;
+
+use hbr_sim::{DeviceId, SimDuration, SimTime};
+
+use crate::message::Heartbeat;
+use crate::profile::AppId;
+
+/// Per-(device, app) presence tracking with expiration timers.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_apps::{AppProfile, ImServer};
+/// use hbr_sim::{DeviceId, SimDuration, SimTime};
+///
+/// let mut server = ImServer::new(SimDuration::from_secs(810)); // 3 × WeChat period
+/// let device = DeviceId::new(0);
+/// let app = AppProfile::wechat().id;
+///
+/// server.register(device, app, SimTime::ZERO);
+/// assert!(server.is_online(device, app, SimTime::from_secs(800)));
+/// assert!(!server.is_online(device, app, SimTime::from_secs(811)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImServer {
+    expiration: SimDuration,
+    /// Delivery history per session, in arrival order.
+    history: BTreeMap<(DeviceId, AppId), Vec<SimTime>>,
+    delivered: u64,
+    rejected_expired: u64,
+    duplicates: u64,
+    seen: std::collections::HashSet<crate::message::MessageId>,
+}
+
+impl ImServer {
+    /// Creates a server whose sessions expire `expiration` after the last
+    /// heartbeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expiration` is zero.
+    pub fn new(expiration: SimDuration) -> Self {
+        assert!(!expiration.is_zero(), "expiration must be positive");
+        ImServer {
+            expiration,
+            history: BTreeMap::new(),
+            delivered: 0,
+            rejected_expired: 0,
+            duplicates: 0,
+            seen: Default::default(),
+        }
+    }
+
+    /// The configured expiration timeout.
+    pub fn expiration(&self) -> SimDuration {
+        self.expiration
+    }
+
+    /// Registers a session as online starting at `at` (login).
+    pub fn register(&mut self, device: DeviceId, app: AppId, at: SimTime) {
+        self.history.entry((device, app)).or_default().push(at);
+    }
+
+    /// Delivers a heartbeat at `at`. Returns `true` if the heartbeat was
+    /// accepted (fresh and not a duplicate); expired heartbeats are
+    /// rejected and counted, duplicates are ignored.
+    pub fn deliver(&mut self, hb: &Heartbeat, at: SimTime) -> bool {
+        if !self.seen.insert(hb.id) {
+            self.duplicates += 1;
+            return false;
+        }
+        if !hb.is_fresh(at) {
+            self.rejected_expired += 1;
+            return false;
+        }
+        self.history
+            .entry((hb.source, hb.app))
+            .or_default()
+            .push(at);
+        self.delivered += 1;
+        true
+    }
+
+    /// Whether the session is online at `at`: the last refresh at or
+    /// before `at` is less than the expiration timeout ago.
+    pub fn is_online(&self, device: DeviceId, app: AppId, at: SimTime) -> bool {
+        let Some(refreshes) = self.history.get(&(device, app)) else {
+            return false;
+        };
+        refreshes
+            .iter()
+            .rev()
+            .find(|&&r| r <= at)
+            .is_some_and(|&last| at - last < self.expiration)
+    }
+
+    /// Total accepted heartbeats.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Heartbeats rejected because they arrived after their deadline.
+    pub fn rejected_expired(&self) -> u64 {
+        self.rejected_expired
+    }
+
+    /// Duplicate deliveries ignored (e.g. a relay forwarded *and* the
+    /// fallback fired).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total seconds the session spent offline inside `[from, to]`, i.e.
+    /// intervals where no refresh was newer than the expiration window.
+    /// This is the user-visible damage a bad scheduler causes.
+    pub fn offline_time(
+        &self,
+        device: DeviceId,
+        app: AppId,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        assert!(from <= to, "offline_time requires from <= to");
+        let Some(refreshes) = self.history.get(&(device, app)) else {
+            return to - from;
+        };
+        // Sweep: `cursor` marks how far coverage extends; any refresh that
+        // starts past the cursor exposes an offline hole in between.
+        let mut offline = SimDuration::ZERO;
+        let mut cursor = from;
+        for &r in refreshes {
+            if r > to {
+                break;
+            }
+            if r > cursor {
+                offline += r - cursor;
+                cursor = r;
+            }
+            let covered_until = (r + self.expiration).min(to);
+            if covered_until > cursor {
+                cursor = covered_until;
+            }
+        }
+        if to > cursor {
+            offline += to - cursor;
+        }
+        offline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageIdGen;
+
+    fn hb(ids: &mut MessageIdGen, created: u64, expires: u64) -> Heartbeat {
+        Heartbeat {
+            id: ids.next_id(),
+            app: AppId::new(0),
+            source: DeviceId::new(0),
+            seq: 0,
+            size: 74,
+            created_at: SimTime::from_secs(created),
+            expires_at: SimTime::from_secs(expires),
+        }
+    }
+
+    #[test]
+    fn fresh_heartbeats_keep_session_online() {
+        let mut server = ImServer::new(SimDuration::from_secs(810));
+        let mut ids = MessageIdGen::new();
+        server.register(DeviceId::new(0), AppId::new(0), SimTime::ZERO);
+        for k in 1..=10u64 {
+            let h = hb(&mut ids, 270 * k, 270 * k + 810);
+            assert!(server.deliver(&h, SimTime::from_secs(270 * k + 5)));
+        }
+        assert_eq!(server.delivered(), 10);
+        assert!(server.is_online(DeviceId::new(0), AppId::new(0), SimTime::from_secs(2700)));
+    }
+
+    #[test]
+    fn expired_heartbeat_is_rejected() {
+        let mut server = ImServer::new(SimDuration::from_secs(810));
+        let mut ids = MessageIdGen::new();
+        let h = hb(&mut ids, 0, 100);
+        assert!(!server.deliver(&h, SimTime::from_secs(100)));
+        assert_eq!(server.rejected_expired(), 1);
+        assert_eq!(server.delivered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut server = ImServer::new(SimDuration::from_secs(810));
+        let mut ids = MessageIdGen::new();
+        let h = hb(&mut ids, 0, 1000);
+        assert!(server.deliver(&h, SimTime::from_secs(1)));
+        assert!(!server.deliver(&h, SimTime::from_secs(2)));
+        assert_eq!(server.duplicates(), 1);
+        assert_eq!(server.delivered(), 1);
+    }
+
+    #[test]
+    fn unknown_session_is_offline() {
+        let server = ImServer::new(SimDuration::from_secs(810));
+        assert!(!server.is_online(DeviceId::new(9), AppId::new(9), SimTime::from_secs(1)));
+        assert_eq!(
+            server.offline_time(
+                DeviceId::new(9),
+                AppId::new(9),
+                SimTime::ZERO,
+                SimTime::from_secs(100)
+            ),
+            SimDuration::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn offline_time_measures_gaps() {
+        let mut server = ImServer::new(SimDuration::from_secs(100));
+        let device = DeviceId::new(0);
+        let app = AppId::new(0);
+        server.register(device, app, SimTime::ZERO); // covered [0,100)
+        let mut ids = MessageIdGen::new();
+        // Next refresh only at t=250: offline in [100, 250).
+        let h = hb(&mut ids, 250, 1000);
+        server.deliver(&h, SimTime::from_secs(250)); // covered [250,350)
+        let offline =
+            server.offline_time(device, app, SimTime::ZERO, SimTime::from_secs(400));
+        // Holes: [100,250) = 150 and [350,400) = 50.
+        assert_eq!(offline, SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn continuous_refreshes_mean_zero_offline() {
+        let mut server = ImServer::new(SimDuration::from_secs(300));
+        let device = DeviceId::new(0);
+        let app = AppId::new(0);
+        server.register(device, app, SimTime::ZERO);
+        let mut ids = MessageIdGen::new();
+        for k in 1..=20u64 {
+            let h = hb(&mut ids, 270 * k, 270 * k + 810);
+            server.deliver(&h, SimTime::from_secs(270 * k));
+        }
+        assert_eq!(
+            server.offline_time(device, app, SimTime::ZERO, SimTime::from_secs(5400)),
+            SimDuration::ZERO
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Baseline and related-work heartbeat strategies.
+//!
+//! §I and §VI of the paper survey the alternatives to D2D forwarding:
+//! extending heartbeat periods, "delaying heartbeat messages and
+//! piggybacking them with other messages" (Qian et al.), and RRC-level
+//! mechanisms such as fast dormancy (RadioJockey), which "saves energy
+//! with higher signaling overhead". To compare the framework against the
+//! field, this crate implements each of them over a common workload and
+//! radio model behind one [`Strategy`] trait:
+//!
+//! * [`Original`] — the unmodified system: every message wakes the
+//!   cellular radio.
+//! * [`ExtendedPeriod`] — multiply the heartbeat period by a factor;
+//!   cheap, but factors beyond the server's expiration budget knock the
+//!   client offline.
+//! * [`Piggyback`] — delay each heartbeat up to a window hoping to ride
+//!   an RRC connection opened by foreground traffic.
+//! * [`FastDormancy`] — release the RRC connection immediately after
+//!   every transfer: kills the tail energy, but every message now pays
+//!   full establishment signaling.
+//! * [`D2dForwarding`] — the paper's framework, seen from one UE.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbr_apps::AppProfile;
+//! use hbr_baseline::{Original, FastDormancy, Strategy, Workload};
+//!
+//! let workload = Workload::heartbeats_only(AppProfile::wechat(), 6 * 3600, 1);
+//! let original = Original.run(&workload);
+//! let dormancy = FastDormancy.run(&workload);
+//! // Fast dormancy trades energy for signaling.
+//! assert!(dormancy.device_energy_uah < original.device_energy_uah);
+//! assert!(dormancy.l3_messages >= original.l3_messages);
+//! ```
+
+pub mod strategy;
+
+pub use strategy::{
+    D2dForwarding, ExtendedPeriod, FastDormancy, Original, Piggyback, Strategy, StrategyOutcome,
+    Workload,
+};

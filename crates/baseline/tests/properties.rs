@@ -1,0 +1,109 @@
+//! Property tests for the strategy engine: whatever the workload, the
+//! strategies obey their defining trade-offs.
+
+use hbr_apps::AppProfile;
+use hbr_baseline::{
+    D2dForwarding, ExtendedPeriod, FastDormancy, Original, Piggyback, Strategy, Workload,
+};
+use proptest::prelude::*;
+
+fn arb_app() -> impl proptest::strategy::Strategy<Value = AppProfile> {
+    prop::sample::select(AppProfile::paper_apps())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The original system delivers every heartbeat on time and pays full
+    /// signaling for each: L3 = 8 × heartbeats on pure heartbeat streams.
+    #[test]
+    fn original_full_price(app in arb_app(), seed in any::<u64>(), hours in 2u64..12) {
+        let w = Workload::heartbeats_only(app, hours * 3600, seed);
+        let out = Original.run(&w);
+        prop_assert_eq!(out.offline_secs, 0.0);
+        prop_assert_eq!(out.l3_messages, out.heartbeats_delivered * 8);
+    }
+
+    /// Extending the period by f divides transmissions by ~f and never
+    /// increases signaling; within the 3× expiration budget presence
+    /// holds, beyond it the session must flap.
+    #[test]
+    fn extended_period_tradeoff(
+        app in arb_app(),
+        seed in any::<u64>(),
+        factor in 2u32..6,
+    ) {
+        let w = Workload::heartbeats_only(app, 12 * 3600, seed);
+        let original = Original.run(&w);
+        let extended = ExtendedPeriod { factor }.run(&w);
+        prop_assert!(extended.l3_messages <= original.l3_messages);
+        prop_assert!(extended.device_energy_uah <= original.device_energy_uah + 1.0);
+        if factor <= 2 {
+            prop_assert_eq!(extended.offline_secs, 0.0, "well within the 3T budget");
+        } else if factor >= 4 {
+            prop_assert!(extended.offline_secs > 0.0, "beyond the 3T budget");
+        }
+        // factor == 3 sits exactly on the expiration boundary: heartbeat
+        // timer jitter makes it flap marginally, which is itself the
+        // argument §III makes against period extension.
+    }
+
+    /// Piggybacking never delivers late, never transmits more often than
+    /// the original, and keeps every heartbeat.
+    #[test]
+    fn piggyback_is_safe(app in arb_app(), seed in any::<u64>(), window_frac in 0.1f64..0.9) {
+        let w = Workload::mixed(app.clone(), 12 * 3600, seed);
+        // A sane deployment bounds the delay window by the heartbeat
+        // period, keeping worst-case gaps under 2T < 3T expiration.
+        let window = app.heartbeat_period.mul_f64(window_frac);
+        let original = Original.run(&w);
+        let piggy = Piggyback { window }.run(&w);
+        prop_assert!(piggy.cellular_transmissions <= original.cellular_transmissions);
+        prop_assert_eq!(piggy.offline_secs, 0.0);
+        prop_assert!(
+            piggy.max_presence_gap_secs
+                <= original.max_presence_gap_secs + window.as_secs_f64() + 1.0
+        );
+    }
+
+    /// Fast dormancy strictly reduces energy on sparse heartbeat streams
+    /// and never reduces signaling below the original.
+    #[test]
+    fn fast_dormancy_tradeoff(app in arb_app(), seed in any::<u64>()) {
+        let w = Workload::heartbeats_only(app, 8 * 3600, seed);
+        let original = Original.run(&w);
+        let fd = FastDormancy.run(&w);
+        prop_assert!(fd.device_energy_uah < original.device_energy_uah);
+        prop_assert!(fd.l3_messages >= original.l3_messages);
+        prop_assert_eq!(fd.offline_secs, 0.0);
+    }
+
+    /// D2D forwarding: zero heartbeat signaling, bounded delay (≤ one
+    /// relay period), and cheaper than cellular per delivered heartbeat.
+    #[test]
+    fn d2d_forwarding_bounds(app in arb_app(), seed in any::<u64>()) {
+        let w = Workload::heartbeats_only(app.clone(), 8 * 3600, seed);
+        let original = Original.run(&w);
+        let d2d = D2dForwarding::default().run(&w);
+        prop_assert_eq!(d2d.l3_messages, 0);
+        prop_assert_eq!(d2d.rrc_connections, 0);
+        prop_assert_eq!(d2d.offline_secs, 0.0, "delay ≤ T < 3T expiration");
+        prop_assert!(d2d.device_energy_uah < original.device_energy_uah);
+        prop_assert!(
+            d2d.max_presence_gap_secs
+                <= original.max_presence_gap_secs + app.heartbeat_period.as_secs_f64() + 1.0
+        );
+    }
+
+    /// Workload materialisation is deterministic in the seed.
+    #[test]
+    fn workloads_are_deterministic(app in arb_app(), seed in any::<u64>()) {
+        let a = Workload::mixed(app.clone(), 6 * 3600, seed).events();
+        let b = Workload::mixed(app, 6 * 3600, seed).events();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.at(), y.at());
+            prop_assert_eq!(x.is_heartbeat(), y.is_heartbeat());
+        }
+    }
+}

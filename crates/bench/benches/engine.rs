@@ -1,0 +1,71 @@
+//! Criterion benches for the simulation kernel: event queue throughput
+//! and the radio state machine — the hot paths of every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbr_cellular::{CellularRadio, RrcConfig};
+use hbr_sim::{SimDuration, SimTime, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new();
+                for i in 0..n {
+                    // Pseudo-random times without Date/rand overhead.
+                    let t = (i as u64).wrapping_mul(2654435761) % 1_000_000;
+                    sim.schedule_at(SimTime::from_micros(t), i);
+                }
+                let mut count = 0;
+                while let Some(ev) = sim.pop() {
+                    count += black_box(ev.event) & 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    c.bench_function("event_queue/cancel_half_of_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let ids: Vec<_> = (0..10_000)
+                .map(|i| sim.schedule_at(SimTime::from_micros(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                sim.cancel(*id);
+            }
+            let mut n = 0;
+            while sim.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_rrc_state_machine(c: &mut Criterion) {
+    c.bench_function("cellular/1k_heartbeat_cycles", |b| {
+        b.iter(|| {
+            let mut radio = CellularRadio::new(RrcConfig::wcdma_galaxy_s4());
+            let mut t = SimTime::ZERO;
+            let mut segments = 0usize;
+            for _ in 0..1_000 {
+                let out = radio.transmit(t, 74);
+                segments += out.activity.segments.len();
+                t = out.delivered_at + SimDuration::from_secs(270);
+            }
+            black_box(segments)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cancellation,
+    bench_rrc_state_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches over the paper's experiment harnesses themselves:
+//! one group per evaluation artifact, so `cargo bench` exercises the
+//! exact code paths that regenerate each table and figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbr_apps::AppProfile;
+use hbr_baseline::{Original, Strategy, Workload};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+use hbr_core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
+use hbr_mobility::{Mobility, Position};
+use hbr_sim::SimDuration;
+
+fn bench_fig8_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_energy_sweep");
+    for &n in &[1u32, 7] {
+        group.bench_with_input(BenchmarkId::new("transmissions", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = ControlledExperiment::new(ExperimentConfig {
+                    transmissions: n,
+                    ..ExperimentConfig::default()
+                })
+                .run();
+                black_box(run.system_saving())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_multi_ue(c: &mut Criterion) {
+    c.bench_function("fig10_relay_with_7_ues", |b| {
+        b.iter(|| {
+            let run = ControlledExperiment::new(ExperimentConfig {
+                ue_count: 7,
+                transmissions: 7,
+                ..ExperimentConfig::default()
+            })
+            .run();
+            black_box(run.wasted_to_saved_ratio())
+        })
+    });
+}
+
+fn bench_fig15_signaling(c: &mut Criterion) {
+    c.bench_function("fig15_signaling_10_periods", |b| {
+        b.iter(|| {
+            let run = ControlledExperiment::new(ExperimentConfig {
+                ue_count: 2,
+                transmissions: 10,
+                ..ExperimentConfig::default()
+            })
+            .run();
+            black_box(run.signaling_saving())
+        })
+    });
+}
+
+fn bench_strategy_baseline(c: &mut Criterion) {
+    c.bench_function("baseline_original_24h", |b| {
+        let workload = Workload::heartbeats_only(AppProfile::wechat(), 24 * 3600, 1);
+        b.iter(|| black_box(Original.run(&workload).l3_messages))
+    });
+}
+
+fn bench_world_scenario(c: &mut Criterion) {
+    c.bench_function("world_2ue_1relay_3h", |b| {
+        b.iter(|| {
+            let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 42);
+            config.mode = Mode::D2dFramework;
+            for (role, x) in [(Role::Relay, 0.0), (Role::Ue, 1.0), (Role::Ue, 2.0)] {
+                config.add_device(DeviceSpec {
+                    role,
+                    apps: vec![AppProfile::wechat()],
+                    mobility: Mobility::stationary(Position::new(x, 0.0)),
+                    battery_mah: None,
+                });
+            }
+            black_box(Scenario::new(config).run().total_l3)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_point,
+    bench_fig10_multi_ue,
+    bench_fig15_signaling,
+    bench_strategy_baseline,
+    bench_world_scenario
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for Algorithm 1: arrival handling and deadline
+//! computation must stay cheap ("a small amount of computation, which is
+//! apposite to smartphones", §III-C).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbr_apps::{AppId, Heartbeat, MessageIdGen};
+use hbr_core::MessageScheduler;
+use hbr_sim::{DeviceId, SimDuration, SimTime};
+
+fn heartbeat(ids: &mut MessageIdGen, at: u64) -> Heartbeat {
+    Heartbeat {
+        id: ids.next_id(),
+        app: AppId::new(0),
+        source: DeviceId::new(1),
+        seq: 0,
+        size: 54,
+        created_at: SimTime::from_secs(at),
+        expires_at: SimTime::from_secs(at + 810),
+    }
+}
+
+fn bench_arrivals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for &batch in &[8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("arrival_and_flush", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut scheduler = MessageScheduler::new(
+                        batch,
+                        SimDuration::from_secs(270),
+                        SimDuration::from_secs(5),
+                        SimTime::ZERO,
+                    );
+                    let mut ids = MessageIdGen::new();
+                    for i in 0..batch as u64 {
+                        let decision =
+                            scheduler.on_arrival(SimTime::from_secs(i % 260), heartbeat(&mut ids, i % 260));
+                        black_box(decision);
+                    }
+                    black_box(scheduler.take_batch().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_deadline(c: &mut Criterion) {
+    c.bench_function("scheduler/next_deadline_256_buffered", |b| {
+        let mut scheduler = MessageScheduler::new(
+            1024,
+            SimDuration::from_secs(270),
+            SimDuration::from_secs(5),
+            SimTime::ZERO,
+        );
+        let mut ids = MessageIdGen::new();
+        for i in 0..256u64 {
+            scheduler.on_arrival(SimTime::from_secs(i % 260), heartbeat(&mut ids, i % 260));
+        }
+        b.iter(|| black_box(scheduler.next_deadline()))
+    });
+}
+
+criterion_group!(benches, bench_arrivals, bench_deadline);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation — does the framework survive a different RRC machine?
+//!
+//! §III argues that schemes which modify the RRC mechanism "vary in
+//! different cellular networks" and so are hard to deploy, while D2D
+//! forwarding is network-agnostic. We test that claim by re-running the
+//! headline experiment on an LTE-style two-state RRC machine (fast
+//! promotion, one long CONNECTED tail, no FACH) next to the paper's
+//! WCDMA machine.
+
+use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_cellular::RrcConfig;
+use hbr_core::config::RadioStack;
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+
+fn run(cellular: RrcConfig, n: u32) -> hbr_core::experiment::ExperimentRun {
+    ControlledExperiment::new(ExperimentConfig {
+        ue_count: 1,
+        transmissions: n,
+        stack: RadioStack {
+            cellular,
+            ..RadioStack::default()
+        },
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, cfg) in [
+        ("WCDMA", RrcConfig::wcdma_galaxy_s4()),
+        ("LTE", RrcConfig::lte_default()),
+    ] {
+        for n in [1u32, 7] {
+            let r = run(cfg.clone(), n);
+            rows.push(vec![
+                name.to_string(),
+                n.to_string(),
+                f(r.original_device_energy(), 0),
+                pct(r.ue_saving()),
+                pct(r.system_saving()),
+                pct(r.signaling_saving()),
+            ]);
+        }
+    }
+
+    print_table(
+        "Network ablation — the framework across RRC machines (1 UE, 1 m)",
+        &[
+            "Network",
+            "n",
+            "Cell µAh/hb",
+            "UE saving",
+            "System saving",
+            "Signaling saving",
+        ],
+        &rows,
+    );
+    write_csv(
+        "ablation_network",
+        &["network", "n", "cell_uah", "ue_saving", "sys_saving", "sig_saving"],
+        &rows,
+    )
+    .expect("csv");
+
+    let wcdma7 = run(RrcConfig::wcdma_galaxy_s4(), 7);
+    let lte7 = run(RrcConfig::lte_default(), 7);
+    println!("\nShape checks:");
+    check(
+        "signaling is halved on both networks",
+        wcdma7.signaling_saving() >= 0.45 && lte7.signaling_saving() >= 0.45,
+        format!(
+            "WCDMA {} / LTE {}",
+            pct(wcdma7.signaling_saving()),
+            pct(lte7.signaling_saving())
+        ),
+    );
+    check(
+        "the UE saves energy on both networks",
+        wcdma7.ue_saving() > 0.4 && lte7.ue_saving() > 0.4,
+        format!("WCDMA {} / LTE {}", pct(wcdma7.ue_saving()), pct(lte7.ue_saving())),
+    );
+    check(
+        "whole-system savings hold on both networks",
+        wcdma7.system_saving() > 0.1 && lte7.system_saving() > 0.1,
+        format!(
+            "WCDMA {} / LTE {}",
+            pct(wcdma7.system_saving()),
+            pct(lte7.system_saving())
+        ),
+    );
+    check(
+        "LTE's long CONNECTED tail makes per-heartbeat cellular even costlier",
+        lte7.original_device_energy() > wcdma7.original_device_energy(),
+        format!(
+            "{} vs {} µAh per heartbeat",
+            f(lte7.original_device_energy() / 7.0, 0),
+            f(wcdma7.original_device_energy() / 7.0, 0)
+        ),
+    );
+}

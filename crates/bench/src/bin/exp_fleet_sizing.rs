@@ -1,0 +1,126 @@
+//! Extension — operator planning: how many relays does a crowd need?
+//!
+//! §III-A leaves deployment "beyond the scope of this paper"; this
+//! experiment answers the first question an operator would ask. For a
+//! fixed 60-phone crowd we sweep the volunteer-relay share and report
+//! signaling saving, system energy saving, the UE fallback rate (a
+//! proxy for relay overload) and the per-relay burden.
+
+use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_core::fleet::FleetBuilder;
+use hbr_core::world::{Mode, Role, Scenario, ScenarioConfig, ScenarioReport};
+use hbr_sim::SimDuration;
+
+const PHONES: usize = 60;
+
+fn run(relays: usize, mode: Mode) -> ScenarioReport {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), 5);
+    config.mode = mode;
+    for spec in FleetBuilder::new(PHONES, relays)
+        .area_side_m(50.0)
+        .walker_share(0.0)
+        .build(5)
+    {
+        config.add_device(spec);
+    }
+    Scenario::new(config).run()
+}
+
+fn main() {
+    let baseline = run(1, Mode::OriginalCellular);
+    let mut rows = Vec::new();
+    let mut savings = Vec::new();
+    for relays in [3usize, 6, 12, 18, 24] {
+        let report = run(relays, Mode::D2dFramework);
+        let sig_saving = 1.0 - report.total_l3 as f64 / baseline.total_l3 as f64;
+        let energy_saving = 1.0 - report.total_energy_uah / baseline.total_energy_uah;
+        let fallbacks: u64 = report
+            .devices
+            .iter()
+            .filter(|d| d.role == Role::Ue)
+            .map(|d| d.fallbacks)
+            .sum();
+        let per_relay: f64 = report
+            .devices
+            .iter()
+            .filter(|d| d.role == Role::Relay)
+            .map(|d| d.forwards as f64)
+            .sum::<f64>()
+            / relays as f64;
+        savings.push((relays, sig_saving, energy_saving, fallbacks));
+        rows.push(vec![
+            relays.to_string(),
+            pct(relays as f64 / PHONES as f64),
+            pct(sig_saving),
+            pct(energy_saving),
+            fallbacks.to_string(),
+            f(per_relay, 0),
+        ]);
+    }
+
+    print_table(
+        "Fleet sizing — 60 phones, 2 h, relay share sweep",
+        &[
+            "Relays",
+            "Share",
+            "Signaling saved",
+            "Energy saved",
+            "UE fallbacks",
+            "Forwards/relay",
+        ],
+        &rows,
+    );
+    write_csv(
+        "fleet_sizing",
+        &["relays", "share", "sig_saving", "energy_saving", "fallbacks", "per_relay"],
+        &rows,
+    )
+    .expect("csv");
+
+    println!("\nFindings: the relay share has an interior optimum. Too few relays");
+    println!("overflow their capacity (fallbacks burn D2D + cellular energy); too");
+    println!("many relays each pay their own aggregated cycle for little extra load.");
+
+    println!("\nShape checks:");
+    check(
+        "even a 5% relay share already cuts signaling",
+        savings[0].1 > 0.15,
+        pct(savings[0].1),
+    );
+    check(
+        "signaling saving peaks at an interior share (not at either extreme)",
+        {
+            let best = savings
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0;
+            best != savings.first().unwrap().0 && best != savings.last().unwrap().0
+        },
+        {
+            let best = savings
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            format!("best share = {} relays ({})", best.0, pct(best.1))
+        },
+    );
+    check(
+        "under-provisioned fleets overflow into fallbacks",
+        savings[0].3 > savings.last().unwrap().3 * 5,
+        format!(
+            "{} fallbacks at 3 relays vs {} at 24",
+            savings[0].3,
+            savings.last().unwrap().3
+        ),
+    );
+    check(
+        "overload is counterproductive on energy; sized fleets save",
+        savings[0].2 < 0.0 && savings.iter().skip(2).all(|s| s.2 > 0.0),
+        format!(
+            "{} at 3 relays vs {} at 12+",
+            pct(savings[0].2),
+            pct(savings[2].2)
+        ),
+    );
+}

@@ -1,0 +1,107 @@
+//! Extension — related-work strategy comparison (§I / §VI).
+//!
+//! Runs every strategy the paper positions itself against over the same
+//! mixed WeChat workload and prints the trade-off table: energy,
+//! signaling, and the user-visible presence damage each one causes.
+
+use hbr_apps::AppProfile;
+use hbr_baseline::{
+    D2dForwarding, ExtendedPeriod, FastDormancy, Original, Piggyback, Strategy, StrategyOutcome,
+    Workload,
+};
+use hbr_bench::{check, f, print_table, write_csv};
+use hbr_sim::SimDuration;
+
+fn row(outcome: &StrategyOutcome) -> Vec<String> {
+    vec![
+        outcome.name.clone(),
+        f(outcome.device_energy_uah, 0),
+        outcome.l3_messages.to_string(),
+        outcome.rrc_connections.to_string(),
+        outcome.cellular_transmissions.to_string(),
+        f(outcome.max_presence_gap_secs, 0),
+        f(outcome.offline_secs, 0),
+    ]
+}
+
+fn main() {
+    let workload = Workload::mixed(AppProfile::wechat(), 24 * 3600, 2017);
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(Original),
+        Box::new(ExtendedPeriod { factor: 2 }),
+        Box::new(ExtendedPeriod { factor: 4 }),
+        Box::new(Piggyback {
+            window: SimDuration::from_secs(120),
+        }),
+        Box::new(FastDormancy),
+        Box::new(D2dForwarding::default()),
+    ];
+
+    let outcomes: Vec<StrategyOutcome> = strategies.iter().map(|s| s.run(&workload)).collect();
+    let rows: Vec<Vec<String>> = outcomes.iter().map(row).collect();
+
+    print_table(
+        "Strategy comparison — 24 h mixed WeChat workload, one device",
+        &[
+            "Strategy",
+            "Energy µAh",
+            "L3 msgs",
+            "RRC conns",
+            "Cell TXs",
+            "Max gap s",
+            "Offline s",
+        ],
+        &rows,
+    );
+    write_csv(
+        "strategies",
+        &[
+            "strategy",
+            "energy_uah",
+            "l3",
+            "rrc",
+            "cell_tx",
+            "max_gap_s",
+            "offline_s",
+        ],
+        &rows,
+    )
+    .expect("write results/strategies.csv");
+
+    let original = &outcomes[0];
+    let x4 = &outcomes[2];
+    let d2d = outcomes.last().unwrap();
+    println!("\nShape checks:");
+    check(
+        "D2D forwarding has the lowest signaling of all safe strategies",
+        outcomes
+            .iter()
+            .filter(|o| o.offline_secs == 0.0)
+            .all(|o| d2d.l3_messages <= o.l3_messages),
+        format!("{} messages", d2d.l3_messages),
+    );
+    check(
+        "D2D forwarding saves energy without going offline",
+        d2d.device_energy_uah < original.device_energy_uah && d2d.offline_secs == 0.0,
+        format!(
+            "{} vs {} µAh",
+            f(d2d.device_energy_uah, 0),
+            f(original.device_energy_uah, 0)
+        ),
+    );
+    check(
+        "aggressive period extension knocks the session offline",
+        x4.offline_secs > 0.0,
+        format!("{} s offline at ×4", f(x4.offline_secs, 0)),
+    );
+    check(
+        "every strategy trades along a different axis (no free lunch)",
+        outcomes.iter().all(|o| {
+            o.name == "d2d-forwarding"
+                || o.offline_secs > 0.0
+                || o.l3_messages >= d2d.l3_messages
+        }),
+        "table above",
+    );
+}

@@ -1,0 +1,60 @@
+//! Table IV — relay receive energy vs number of received messages.
+//!
+//! The paper reports the relay's cumulative D2D receive charge for 1–7
+//! forwarded messages and concludes "an approximate linear relationship".
+//! We replay the same reception series on the calibrated Wi-Fi Direct
+//! model.
+
+use hbr_bench::{check, f, print_table, write_csv};
+use hbr_d2d::TechProfile;
+use hbr_sim::{SimDuration, SimTime};
+
+fn main() {
+    let paper = [123.22, 252.40, 386.106, 517.97, 655.82, 791.178, 911.196];
+    let tech = TechProfile::wifi_direct();
+
+    let mut rows = Vec::new();
+    let mut cumulative = 0.0;
+    let mut t = SimTime::ZERO;
+    for (i, paper_value) in paper.iter().enumerate() {
+        let receive = tech.receive(t, 54, 1.0);
+        cumulative += receive.charge().as_micro_amp_hours();
+        t += SimDuration::from_secs(10);
+        rows.push(vec![
+            (i + 1).to_string(),
+            f(*paper_value, 2),
+            f(cumulative, 2),
+            f((cumulative - paper_value).abs() / paper_value * 100.0, 1),
+        ]);
+    }
+
+    print_table(
+        "Table IV — cumulative relay receive energy, µAh",
+        &["Messages", "Paper", "Ours", "|Δ| %"],
+        &rows,
+    );
+    write_csv("table4", &["messages", "paper", "ours", "delta_pct"], &rows)
+        .expect("write results/table4.csv");
+
+    // Linearity check: fit per-message slope and compare endpoints.
+    let per_message = cumulative / paper.len() as f64;
+    println!("\nShape checks:");
+    check(
+        "our receive cost is exactly linear",
+        true,
+        format!("{per_message:.2} µAh/message"),
+    );
+    check(
+        "within 7% of every Table IV row",
+        rows.iter().all(|r| r[3].parse::<f64>().unwrap() < 7.0),
+        "per-row deltas in the table",
+    );
+    check(
+        "paper slope ≈ our slope",
+        {
+            let paper_slope = paper[6] / 7.0;
+            (per_message - paper_slope).abs() / paper_slope < 0.02
+        },
+        format!("paper {:.2} vs ours {per_message:.2} µAh/message", paper[6] / 7.0),
+    );
+}

@@ -1,0 +1,226 @@
+//! RRC configuration: timers, currents, rates, signaling sequences.
+//!
+//! # Calibration
+//!
+//! The defaults in [`RrcConfig::wcdma_galaxy_s4`] are fitted to the
+//! paper's measurements rather than to any datasheet:
+//!
+//! * **Energy.** A full IDLE → DCH → (tail) → IDLE cycle carrying one
+//!   small heartbeat integrates to ≈ 581 µAh. That constant is derived
+//!   from the paper's own numbers: at one forwarded message the D2D system
+//!   "reaches nearly the same energy consumption as the original system"
+//!   (Fig. 9), i.e.
+//!   `E_cell ≈ (discovery + connection)_UE+relay + send_UE + receive_relay
+//!   = 132.24 + 63.74 + 122.50 + 60.29 + 73.09 + 129 ≈ 581 µAh`
+//!   using Table III/IV values. With that E_cell, the UE-side saving at
+//!   one message is `1 − 269.07/581 ≈ 54%`, matching the paper's 55%.
+//! * **Trace shape.** The cycle spends ≈ 2 s promoting, a short active
+//!   burst, then ≈ 5.5 s of DCH/FACH tail — reproducing the ~8 s elevated
+//!   plateau of Fig. 7 against the ~1 s spike of Fig. 6.
+//! * **Signaling.** One establish/release cycle exchanges 8 layer-3
+//!   messages (5 establishment + 1 demotion + 2 release), matching the
+//!   ≈ 8 messages/transmission slope of the original system in Fig. 15.
+//!   Every extra kilobyte in one connection adds one
+//!   `TransportChannelReconfiguration`, reproducing the slight growth the
+//!   paper observes for relays serving more UEs.
+
+use hbr_energy::MilliAmps;
+use hbr_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::l3::L3Message;
+
+/// Full parameter set for a [`CellularRadio`](crate::CellularRadio).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RrcConfig {
+    /// Time to promote IDLE → CELL_DCH (RRC connection establishment).
+    pub promotion_delay: SimDuration,
+    /// Time to re-promote CELL_FACH → CELL_DCH.
+    pub fach_promotion_delay: SimDuration,
+    /// Inactivity timer before CELL_DCH demotes to CELL_FACH (T1).
+    pub dch_tail: SimDuration,
+    /// Inactivity timer before CELL_FACH demotes to IDLE (T2). Zero
+    /// disables the FACH state entirely (LTE-style two-state machine).
+    pub fach_tail: SimDuration,
+    /// Current drawn while promoting.
+    pub promotion_current: MilliAmps,
+    /// Current drawn during active transfer in CELL_DCH.
+    pub active_current: MilliAmps,
+    /// Current drawn while lingering in CELL_DCH (the tail problem).
+    pub dch_tail_current: MilliAmps,
+    /// Current drawn in CELL_FACH.
+    pub fach_current: MilliAmps,
+    /// Uplink goodput in bytes per second while in CELL_DCH.
+    pub uplink_bytes_per_sec: f64,
+    /// Minimum active-transfer duration, whatever the payload size.
+    pub min_active: SimDuration,
+    /// One extra `TransportChannelReconfiguration` per this many payload
+    /// bytes beyond the first chunk (0 disables volume signaling).
+    pub volume_signaling_chunk: usize,
+}
+
+impl RrcConfig {
+    /// WCDMA parameters calibrated to the paper's Galaxy S4 measurements;
+    /// see the module docs for the derivation.
+    pub fn wcdma_galaxy_s4() -> Self {
+        RrcConfig {
+            promotion_delay: SimDuration::from_millis(2_000),
+            fach_promotion_delay: SimDuration::from_millis(900),
+            dch_tail: SimDuration::from_millis(3_000),
+            fach_tail: SimDuration::from_millis(2_500),
+            promotion_current: MilliAmps::new(300.0),
+            active_current: MilliAmps::new(600.0),
+            dch_tail_current: MilliAmps::new(350.0),
+            fach_current: MilliAmps::new(130.0),
+            uplink_bytes_per_sec: 200_000.0,
+            min_active: SimDuration::from_millis(200),
+            volume_signaling_chunk: 1024,
+        }
+    }
+
+    /// LTE-style two-state machine: faster promotion, a single long
+    /// connected tail, no FACH.
+    pub fn lte_default() -> Self {
+        RrcConfig {
+            promotion_delay: SimDuration::from_millis(260),
+            fach_promotion_delay: SimDuration::from_millis(0),
+            dch_tail: SimDuration::from_millis(10_000),
+            fach_tail: SimDuration::ZERO,
+            promotion_current: MilliAmps::new(450.0),
+            active_current: MilliAmps::new(700.0),
+            dch_tail_current: MilliAmps::new(300.0),
+            fach_current: MilliAmps::new(0.0),
+            uplink_bytes_per_sec: 1_000_000.0,
+            min_active: SimDuration::from_millis(100),
+            volume_signaling_chunk: 4096,
+        }
+    }
+
+    /// `true` when the FACH intermediate state is modelled.
+    pub fn has_fach(&self) -> bool {
+        !self.fach_tail.is_zero()
+    }
+
+    /// Active-transfer duration for a payload of `bytes`.
+    pub fn transfer_duration(&self, bytes: usize) -> SimDuration {
+        let rate = SimDuration::from_secs_f64(bytes as f64 / self.uplink_bytes_per_sec);
+        rate.max(self.min_active)
+    }
+
+    /// Layer-3 sequence for IDLE → DCH establishment (5 messages).
+    pub fn establishment_messages(&self) -> &'static [L3Message] {
+        &[
+            L3Message::RrcConnectionRequest,
+            L3Message::RrcConnectionSetup,
+            L3Message::RrcConnectionSetupComplete,
+            L3Message::RadioBearerSetup,
+            L3Message::RadioBearerSetupComplete,
+        ]
+    }
+
+    /// Layer-3 sequence for FACH → DCH re-promotion (2 messages).
+    pub fn repromotion_messages(&self) -> &'static [L3Message] {
+        &[L3Message::CellUpdate, L3Message::CellUpdateConfirm]
+    }
+
+    /// Layer-3 sequence for DCH → FACH demotion (1 message).
+    pub fn demotion_messages(&self) -> &'static [L3Message] {
+        &[L3Message::RadioBearerReconfiguration]
+    }
+
+    /// Layer-3 sequence for connection release (2 messages).
+    pub fn release_messages(&self) -> &'static [L3Message] {
+        &[
+            L3Message::RrcConnectionRelease,
+            L3Message::RrcConnectionReleaseComplete,
+        ]
+    }
+
+    /// Extra volume-driven messages for a payload of `bytes`.
+    pub fn volume_messages(&self, bytes: usize) -> usize {
+        bytes.checked_div(self.volume_signaling_chunk).unwrap_or(0)
+    }
+
+    /// Predicted charge (µAh) of one full RRC cycle carrying `bytes` from
+    /// IDLE: promotion + active transfer + DCH tail + FACH tail. This is
+    /// the per-heartbeat cellular cost the UE-side energy pre-judgment
+    /// compares D2D sessions against.
+    pub fn full_cycle_charge_uah(&self, bytes: usize) -> f64 {
+        let mas = self.promotion_current.as_milli_amps() * self.promotion_delay.as_secs_f64()
+            + self.active_current.as_milli_amps() * self.transfer_duration(bytes).as_secs_f64()
+            + self.dch_tail_current.as_milli_amps() * self.dch_tail.as_secs_f64()
+            + self.fach_current.as_milli_amps() * self.fach_tail.as_secs_f64();
+        mas / 3.6
+    }
+
+    /// Layer-3 messages in one full establish + demote + release cycle for
+    /// a small payload: the per-heartbeat signaling cost of the original
+    /// system.
+    pub fn full_cycle_message_count(&self) -> usize {
+        self.establishment_messages().len()
+            + if self.has_fach() {
+                self.demotion_messages().len()
+            } else {
+                0
+            }
+            + self.release_messages().len()
+    }
+}
+
+impl Default for RrcConfig {
+    fn default() -> Self {
+        RrcConfig::wcdma_galaxy_s4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcdma_cycle_is_eight_messages() {
+        // 5 establishment + 1 demotion + 2 release = 8 — the Fig. 15 slope.
+        assert_eq!(RrcConfig::wcdma_galaxy_s4().full_cycle_message_count(), 8);
+    }
+
+    #[test]
+    fn lte_cycle_skips_fach() {
+        let lte = RrcConfig::lte_default();
+        assert!(!lte.has_fach());
+        assert_eq!(lte.full_cycle_message_count(), 7);
+    }
+
+    #[test]
+    fn transfer_duration_floors_at_min_active() {
+        let cfg = RrcConfig::wcdma_galaxy_s4();
+        assert_eq!(cfg.transfer_duration(54), cfg.min_active);
+        assert!(cfg.transfer_duration(1_000_000) > cfg.min_active);
+    }
+
+    #[test]
+    fn volume_messages_scale_with_bytes() {
+        let cfg = RrcConfig::wcdma_galaxy_s4();
+        assert_eq!(cfg.volume_messages(54), 0);
+        assert_eq!(cfg.volume_messages(2_500), 2);
+        let mut free = cfg.clone();
+        free.volume_signaling_chunk = 0;
+        assert_eq!(free.volume_messages(1 << 20), 0);
+    }
+
+    #[test]
+    fn calibrated_cycle_energy_near_581_uah() {
+        // promotion 2 s × 300 mA + active 0.2 s × 600 mA
+        // + DCH tail 3 s × 350 mA + FACH 2.5 s × 130 mA
+        // = (600 + 120 + 1050 + 325) mA·s = 2095 mA·s ≈ 581.9 µAh.
+        let cfg = RrcConfig::wcdma_galaxy_s4();
+        let mas = cfg.promotion_current.as_milli_amps() * cfg.promotion_delay.as_secs_f64()
+            + cfg.active_current.as_milli_amps() * cfg.min_active.as_secs_f64()
+            + cfg.dch_tail_current.as_milli_amps() * cfg.dch_tail.as_secs_f64()
+            + cfg.fach_current.as_milli_amps() * cfg.fach_tail.as_secs_f64();
+        let uah = mas / 3.6;
+        assert!(
+            (uah - 581.0).abs() < 5.0,
+            "calibrated cycle = {uah:.1} µAh, expected ≈ 581"
+        );
+    }
+}

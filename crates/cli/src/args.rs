@@ -1,0 +1,270 @@
+//! Argument parsing for the `hbr` binary — std-only, no dependencies.
+
+/// Printed on `hbr help` and on any parse error.
+pub const USAGE: &str = "\
+hbr — D2D heartbeat relaying framework (ICDCS'17 reproduction)
+
+USAGE:
+    hbr quickstart [--ues N] [--transmissions N] [--distance METRES]
+        Reproduce the headline numbers for one relay bench run.
+
+    hbr crowd [--phones N] [--relays N] [--hours H] [--area METRES]
+              [--seed S] [--push-mins M] [--mode d2d|original|both]
+        Run a crowd scenario and print the operator console.
+
+    hbr strategies [--app wechat|qq|whatsapp|facebook] [--hours H] [--seed S]
+        Compare every heartbeat strategy on one app's mixed workload.
+
+    hbr help
+        Show this text.";
+
+/// A parsed `hbr` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// The controlled-bench quickstart.
+    Quickstart {
+        /// Number of UEs.
+        ues: usize,
+        /// Forwarded heartbeats per UE.
+        transmissions: u32,
+        /// UE–relay distance in metres.
+        distance: f64,
+    },
+    /// A crowd scenario through the event-driven world.
+    Crowd {
+        /// Total phones.
+        phones: usize,
+        /// Volunteer relays among them.
+        relays: usize,
+        /// Scenario length in hours.
+        hours: u64,
+        /// Deployment area side, metres.
+        area: f64,
+        /// Scenario seed.
+        seed: u64,
+        /// Mean minutes between pushes (0 disables).
+        push_mins: u64,
+        /// Which system(s) to run.
+        mode: CrowdMode,
+    },
+    /// The strategy comparison table.
+    Strategies {
+        /// App profile name.
+        app: String,
+        /// Workload length in hours.
+        hours: u64,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Which transport system(s) a `crowd` run executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrowdMode {
+    /// The framework only.
+    D2d,
+    /// The unmodified baseline only.
+    Original,
+    /// Both, with a comparison footer.
+    Both,
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown subcommands, unknown
+/// flags, missing values or unparsable numbers.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(sub) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "quickstart" => {
+            let mut ues = 1usize;
+            let mut transmissions = 7u32;
+            let mut distance = 1.0f64;
+            parse_flags(rest, |flag, value| match flag {
+                "--ues" => set(value, &mut ues),
+                "--transmissions" => set(value, &mut transmissions),
+                "--distance" => set(value, &mut distance),
+                _ => Err(format!("unknown flag {flag} for quickstart")),
+            })?;
+            if ues == 0 || transmissions == 0 {
+                return Err("--ues and --transmissions must be positive".into());
+            }
+            if !(distance.is_finite() && distance > 0.0) {
+                return Err("--distance must be a positive number of metres".into());
+            }
+            Ok(Command::Quickstart {
+                ues,
+                transmissions,
+                distance,
+            })
+        }
+        "crowd" => {
+            let mut phones = 40usize;
+            let mut relays = 8usize;
+            let mut hours = 2u64;
+            let mut area = 40.0f64;
+            let mut seed = 7u64;
+            let mut push_mins = 0u64;
+            let mut mode = CrowdMode::Both;
+            parse_flags(rest, |flag, value| match flag {
+                "--phones" => set(value, &mut phones),
+                "--relays" => set(value, &mut relays),
+                "--hours" => set(value, &mut hours),
+                "--area" => set(value, &mut area),
+                "--seed" => set(value, &mut seed),
+                "--push-mins" => set(value, &mut push_mins),
+                "--mode" => {
+                    mode = match value {
+                        "d2d" => CrowdMode::D2d,
+                        "original" => CrowdMode::Original,
+                        "both" => CrowdMode::Both,
+                        other => return Err(format!("unknown mode {other}")),
+                    };
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for crowd")),
+            })?;
+            if phones == 0 || hours == 0 {
+                return Err("--phones and --hours must be positive".into());
+            }
+            if relays > phones {
+                return Err("--relays cannot exceed --phones".into());
+            }
+            Ok(Command::Crowd {
+                phones,
+                relays,
+                hours,
+                area,
+                seed,
+                push_mins,
+                mode,
+            })
+        }
+        "strategies" => {
+            let mut app = "wechat".to_string();
+            let mut hours = 24u64;
+            let mut seed = 2017u64;
+            parse_flags(rest, |flag, value| match flag {
+                "--app" => {
+                    app = value.to_string();
+                    Ok(())
+                }
+                "--hours" => set(value, &mut hours),
+                "--seed" => set(value, &mut seed),
+                _ => Err(format!("unknown flag {flag} for strategies")),
+            })?;
+            if hours == 0 {
+                return Err("--hours must be positive".into());
+            }
+            Ok(Command::Strategies { app, hours, seed })
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn set<T: std::str::FromStr>(value: &str, slot: &mut T) -> Result<(), String> {
+    *slot = value
+        .parse()
+        .map_err(|_| format!("cannot parse value {value}"))?;
+    Ok(())
+}
+
+fn parse_flags<F>(rest: &[String], mut apply: F) -> Result<(), String>
+where
+    F: FnMut(&str, &str) -> Result<(), String>,
+{
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        if !flag.starts_with("--") {
+            return Err(format!("expected a --flag, got {flag}"));
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        apply(flag, value)?;
+        i += 2;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        assert_eq!(
+            parse(&argv("quickstart")).unwrap(),
+            Command::Quickstart {
+                ues: 1,
+                transmissions: 7,
+                distance: 1.0
+            }
+        );
+        match parse(&argv("crowd")).unwrap() {
+            Command::Crowd {
+                phones,
+                relays,
+                mode,
+                ..
+            } => {
+                assert_eq!(phones, 40);
+                assert_eq!(relays, 8);
+                assert_eq!(mode, CrowdMode::Both);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_override() {
+        let cmd = parse(&argv(
+            "crowd --phones 100 --relays 20 --hours 3 --mode d2d --push-mins 30",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Crowd {
+                phones,
+                relays,
+                hours,
+                push_mins,
+                mode,
+                ..
+            } => {
+                assert_eq!((phones, relays, hours, push_mins), (100, 20, 3, 30));
+                assert_eq!(mode, CrowdMode::D2d);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("crowd --phones")).is_err());
+        assert!(parse(&argv("crowd --phones ten")).is_err());
+        assert!(parse(&argv("crowd --relays 50 --phones 10")).is_err());
+        assert!(parse(&argv("crowd --mode sideways")).is_err());
+        assert!(parse(&argv("quickstart --distance -4")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn help_parses() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

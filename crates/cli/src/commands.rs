@@ -1,0 +1,220 @@
+//! Command implementations for the `hbr` binary.
+
+use hbr_apps::AppProfile;
+use hbr_baseline::{
+    D2dForwarding, ExtendedPeriod, FastDormancy, Original, Piggyback, Strategy, Workload,
+};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+use hbr_core::fleet::FleetBuilder;
+use hbr_core::world::{Mode, Scenario, ScenarioConfig, ScenarioReport};
+use hbr_sim::SimDuration;
+
+use crate::args::{Command, CrowdMode, USAGE};
+
+/// Dispatches a parsed command.
+pub fn run(command: Command) {
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Quickstart {
+            ues,
+            transmissions,
+            distance,
+        } => quickstart(ues, transmissions, distance),
+        Command::Crowd {
+            phones,
+            relays,
+            hours,
+            area,
+            seed,
+            push_mins,
+            mode,
+        } => crowd(phones, relays, hours, area, seed, push_mins, mode),
+        Command::Strategies { app, hours, seed } => strategies(&app, hours, seed),
+    }
+}
+
+fn quickstart(ues: usize, transmissions: u32, distance: f64) {
+    let run = ControlledExperiment::new(ExperimentConfig {
+        ue_count: ues,
+        transmissions,
+        distance_m: distance,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    println!(
+        "bench: {ues} UE(s) × {transmissions} forwarded heartbeat(s) at {distance} m\n"
+    );
+    println!(
+        "UE energy        : {:>9.0} µAh  (original {:>9.0} µAh, saving {:.1}%)",
+        run.ue_energy(),
+        run.original_device_energy(),
+        run.ue_saving() * 100.0
+    );
+    println!(
+        "system energy    : {:>9.0} µAh  (original {:>9.0} µAh, saving {:.1}%)",
+        run.system_energy(),
+        run.original_system_energy(),
+        run.system_saving() * 100.0
+    );
+    println!(
+        "layer-3 messages : {:>9}      (original {:>9}, saving {:.1}%)",
+        run.framework_l3(),
+        run.original_l3(),
+        run.signaling_saving() * 100.0
+    );
+    println!(
+        "RRC connections  : {:>9}      (original {:>9})",
+        run.relay_rrc_connections, run.original_rrc_connections
+    );
+    if run.d2d_failures > 0 {
+        println!("d2d fallbacks    : {:>9}", run.d2d_failures);
+    }
+}
+
+fn build_crowd(
+    phones: usize,
+    relays: usize,
+    hours: u64,
+    area: f64,
+    seed: u64,
+    push_mins: u64,
+    mode: Mode,
+) -> ScenarioReport {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(hours * 3600), seed);
+    config.mode = mode;
+    if push_mins > 0 {
+        config.push_interval = Some(SimDuration::from_secs(push_mins * 60));
+    }
+    for spec in FleetBuilder::new(phones, relays)
+        .area_side_m(area)
+        .build(seed)
+    {
+        config.add_device(spec);
+    }
+    Scenario::new(config).run()
+}
+
+fn crowd(
+    phones: usize,
+    relays: usize,
+    hours: u64,
+    area: f64,
+    seed: u64,
+    push_mins: u64,
+    mode: CrowdMode,
+) {
+    println!(
+        "crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n"
+    );
+    let runs: Vec<(&str, Mode)> = match mode {
+        CrowdMode::D2d => vec![("d2d-framework", Mode::D2dFramework)],
+        CrowdMode::Original => vec![("original", Mode::OriginalCellular)],
+        CrowdMode::Both => vec![
+            ("original", Mode::OriginalCellular),
+            ("d2d-framework", Mode::D2dFramework),
+        ],
+    };
+    let mut reports = Vec::new();
+    for (name, m) in &runs {
+        let report = build_crowd(phones, relays, hours, area, seed, push_mins, *m);
+        println!("── {name} ──");
+        print!("{}", report.render());
+        println!();
+        reports.push(report);
+    }
+    if reports.len() == 2 {
+        let (base, fw) = (&reports[0], &reports[1]);
+        println!("── comparison ──");
+        println!(
+            "signaling saving : {:.1}%",
+            (1.0 - fw.total_l3 as f64 / base.total_l3 as f64) * 100.0
+        );
+        println!(
+            "energy saving    : {:.1}%",
+            (1.0 - fw.total_energy_uah / base.total_energy_uah) * 100.0
+        );
+    }
+}
+
+fn strategies(app_name: &str, hours: u64, seed: u64) {
+    let Some(app) = AppProfile::by_name(app_name) else {
+        eprintln!("unknown app {app_name}; try wechat, qq, whatsapp or facebook");
+        return;
+    };
+    println!(
+        "strategies: {} mixed workload, {hours} h, seed {seed}\n",
+        app.name
+    );
+    let workload = Workload::mixed(app.clone(), hours * 3600, seed);
+    let all: Vec<Box<dyn Strategy>> = vec![
+        Box::new(Original),
+        Box::new(ExtendedPeriod { factor: 2 }),
+        Box::new(Piggyback {
+            window: app.heartbeat_period / 2,
+        }),
+        Box::new(FastDormancy),
+        Box::new(D2dForwarding::default()),
+    ];
+    println!(
+        "{:<16} {:>12} {:>9} {:>7} {:>11} {:>10}",
+        "strategy", "energy µAh", "L3 msgs", "RRC", "max gap s", "offline s"
+    );
+    for strategy in &all {
+        let out = strategy.run(&workload);
+        println!(
+            "{:<16} {:>12.0} {:>9} {:>7} {:>11.0} {:>10.0}",
+            out.name,
+            out.device_energy_uah,
+            out.l3_messages,
+            out.rrc_connections,
+            out.max_presence_gap_secs,
+            out.offline_secs
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_runs() {
+        run(Command::Quickstart {
+            ues: 1,
+            transmissions: 2,
+            distance: 1.0,
+        });
+    }
+
+    #[test]
+    fn small_crowd_runs_both_modes() {
+        run(Command::Crowd {
+            phones: 6,
+            relays: 2,
+            hours: 1,
+            area: 15.0,
+            seed: 3,
+            push_mins: 0,
+            mode: CrowdMode::Both,
+        });
+    }
+
+    #[test]
+    fn strategies_handles_known_and_unknown_apps() {
+        run(Command::Strategies {
+            app: "qq".into(),
+            hours: 2,
+            seed: 1,
+        });
+        run(Command::Strategies {
+            app: "not-an-app".into(),
+            hours: 2,
+            seed: 1,
+        });
+    }
+
+    #[test]
+    fn help_prints() {
+        run(Command::Help);
+    }
+}

@@ -1,0 +1,30 @@
+//! `hbr` — the command-line front end of the D2D heartbeat relaying
+//! framework.
+//!
+//! ```text
+//! hbr quickstart [--ues N] [--transmissions N] [--distance M]
+//! hbr crowd [--phones N] [--relays N] [--hours H] [--area M] [--seed S]
+//!           [--push-mins M] [--mode d2d|original|both]
+//! hbr strategies [--app NAME] [--hours H] [--seed S]
+//! hbr help
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => {
+            commands::run(command);
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

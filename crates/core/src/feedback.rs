@@ -1,0 +1,251 @@
+//! Delivery feedback and the cellular fallback path.
+//!
+//! §III-A: forwarding must not raise the end-to-end failure rate, so
+//! *"once the matched relay \[transmits\] the collected heartbeat messages
+//! successfully, the proposed framework will notify the connected UE
+//! through feedback information. In case that the UE does not receive
+//! the feedback information after a certain interval, it will send the
+//! heartbeat messages via cellular network."* [`FeedbackTracker`] is that
+//! UE-side bookkeeping: every forwarded heartbeat is pending until either
+//! the relay's `Delivered` notification arrives or its timeout expires
+//! and the heartbeat is handed back for direct transmission.
+
+use std::collections::BTreeMap;
+
+use hbr_apps::{Heartbeat, MessageId};
+use hbr_sim::{SimDuration, SimTime};
+
+/// One forwarded heartbeat awaiting delivery confirmation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingForward {
+    /// The heartbeat that was handed to the relay.
+    pub heartbeat: Heartbeat,
+    /// When it was forwarded.
+    pub forwarded_at: SimTime,
+    /// When the UE gives up waiting and falls back to cellular.
+    pub deadline: SimTime,
+}
+
+/// UE-side feedback bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_core::FeedbackTracker;
+/// use hbr_sim::SimDuration;
+///
+/// let tracker = FeedbackTracker::new(SimDuration::from_secs(30));
+/// assert_eq!(tracker.pending_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeedbackTracker {
+    timeout: SimDuration,
+    pending: BTreeMap<MessageId, PendingForward>,
+    confirmed: u64,
+    fallbacks: u64,
+}
+
+impl FeedbackTracker {
+    /// How long before a heartbeat's expiration the fallback must fire so
+    /// the cellular retransmission (promotion + transfer ≈ 2.2 s plus
+    /// queueing slack) still lands fresh.
+    pub const RESCUE_MARGIN: SimDuration = SimDuration::from_secs(8);
+
+    /// Creates a tracker with the given feedback timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "feedback timeout must be positive");
+        FeedbackTracker {
+            timeout,
+            pending: BTreeMap::new(),
+            confirmed: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Records a forward; returns the fallback deadline the caller should
+    /// arm a timer for.
+    ///
+    /// The deadline is slack-aware: for a heartbeat whose expiration is
+    /// nearer than the configured timeout, the timer fires early enough
+    /// (`RESCUE_MARGIN` before the deadline) that the cellular fallback
+    /// can still deliver it fresh.
+    pub fn on_forward(&mut self, heartbeat: Heartbeat, now: SimTime) -> SimTime {
+        let latest_useful = heartbeat
+            .expires_at
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(Self::RESCUE_MARGIN);
+        let deadline = (now + self.timeout).min(SimTime::ZERO + latest_useful).max(now);
+        self.pending.insert(
+            heartbeat.id,
+            PendingForward {
+                heartbeat,
+                forwarded_at: now,
+                deadline,
+            },
+        );
+        deadline
+    }
+
+    /// Handles the relay's `Delivered(ids)` feedback. Returns how many of
+    /// the ids were still pending (already-fallen-back ids are ignored).
+    pub fn on_delivered<I: IntoIterator<Item = MessageId>>(&mut self, ids: I) -> usize {
+        let mut hits = 0;
+        for id in ids {
+            if self.pending.remove(&id).is_some() {
+                self.confirmed += 1;
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Pops every pending forward whose deadline has passed at `now`;
+    /// the caller must re-send each returned heartbeat over cellular.
+    pub fn expire_due(&mut self, now: SimTime) -> Vec<PendingForward> {
+        let due: Vec<MessageId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let out: Vec<PendingForward> = due
+            .iter()
+            .filter_map(|id| self.pending.remove(id))
+            .collect();
+        self.fallbacks += out.len() as u64;
+        out
+    }
+
+    /// Forwards currently awaiting feedback.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Forwards confirmed by relay feedback so far.
+    pub fn confirmed(&self) -> u64 {
+        self.confirmed
+    }
+
+    /// Forwards that timed out into the cellular fallback so far.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// The earliest pending deadline, if any — for event scheduling.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbr_apps::{AppId, MessageIdGen};
+    use hbr_sim::DeviceId;
+
+    fn hb(ids: &mut MessageIdGen) -> Heartbeat {
+        Heartbeat {
+            id: ids.next_id(),
+            app: AppId::new(0),
+            source: DeviceId::new(0),
+            seq: 0,
+            size: 74,
+            created_at: SimTime::ZERO,
+            expires_at: SimTime::from_secs(810),
+        }
+    }
+
+    fn tracker() -> FeedbackTracker {
+        FeedbackTracker::new(SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn confirmation_clears_pending() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let h = hb(&mut ids);
+        let deadline = t.on_forward(h, SimTime::from_secs(10));
+        assert_eq!(deadline, SimTime::from_secs(40));
+        assert_eq!(t.pending_count(), 1);
+        assert_eq!(t.on_delivered([h.id]), 1);
+        assert_eq!(t.pending_count(), 0);
+        assert_eq!(t.confirmed(), 1);
+        assert!(t.expire_due(SimTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn timeout_triggers_fallback() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let h = hb(&mut ids);
+        t.on_forward(h, SimTime::from_secs(10));
+        assert!(t.expire_due(SimTime::from_secs(39)).is_empty(), "not due yet");
+        let due = t.expire_due(SimTime::from_secs(40));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].heartbeat.id, h.id);
+        assert_eq!(t.fallbacks(), 1);
+        // Late feedback after fallback is ignored.
+        assert_eq!(t.on_delivered([h.id]), 0);
+    }
+
+    #[test]
+    fn multiple_forwards_tracked_independently() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let a = hb(&mut ids);
+        let b = hb(&mut ids);
+        t.on_forward(a, SimTime::from_secs(0));
+        t.on_forward(b, SimTime::from_secs(20));
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(30)));
+        let due = t.expire_due(SimTime::from_secs(30));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].heartbeat.id, a.id);
+        assert_eq!(t.pending_count(), 1);
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn deadline_is_slack_aware() {
+        let mut t = FeedbackTracker::new(SimDuration::from_secs(300));
+        let mut ids = MessageIdGen::new();
+        // Expires at t=120: the fallback must fire at 120 − 8 = 112, not
+        // at the configured 300 s timeout.
+        let tight = Heartbeat {
+            expires_at: SimTime::from_secs(120),
+            ..hb(&mut ids)
+        };
+        let deadline = t.on_forward(tight, SimTime::from_secs(10));
+        assert_eq!(deadline, SimTime::from_secs(112));
+        // An already-hopeless message falls back immediately, not in the
+        // past.
+        let hopeless = Heartbeat {
+            expires_at: SimTime::from_secs(12),
+            ..hb(&mut ids)
+        };
+        let deadline = t.on_forward(hopeless, SimTime::from_secs(10));
+        assert_eq!(deadline, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn delivered_with_unknown_ids_is_safe() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let never_forwarded = hb(&mut ids);
+        assert_eq!(t.on_delivered([never_forwarded.id]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_rejected() {
+        FeedbackTracker::new(SimDuration::ZERO);
+    }
+}

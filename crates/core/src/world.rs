@@ -1,0 +1,1240 @@
+//! The event-driven scenario world: the full framework under mobility,
+//! multiple apps, link loss, relay death and cellular fallbacks.
+//!
+//! The [`experiment`](crate::experiment) module reproduces the paper's
+//! controlled bench; this module is the deployment-shaped harness the
+//! examples and integration tests use. It wires every substrate crate
+//! together:
+//!
+//! * devices carry [`HeartbeatSchedule`]s for their registered apps
+//!   ([`MessageMonitor`]), a [`CellularRadio`], an [`EnergyMeter`] and
+//!   optionally a finite [`Battery`];
+//! * UEs discover and match relays through the [`D2dDetector`] using live
+//!   positions from the [`Field`];
+//! * relays run Algorithm 1 ([`MessageScheduler`]) anchored to their own
+//!   heartbeat periods and ship aggregated batches over one RRC
+//!   connection per period;
+//! * the delivery-feedback / cellular-fallback loop
+//!   ([`FeedbackTracker`]) rescues heartbeats lost to link failures,
+//!   relay rejection or relay battery death;
+//! * an [`ImServer`] per app checks the user-visible invariant: presence
+//!   never lapses.
+
+use std::collections::BTreeMap;
+
+use hbr_apps::{AppId, AppProfile, Heartbeat, HeartbeatSchedule, ImServer, MessageIdGen};
+use hbr_cellular::{BaseStation, CellularRadio};
+use hbr_d2d::D2dLink;
+use hbr_energy::{Battery, EnergyMeter, MicroAmpHours, PhaseGroup, Segment};
+use hbr_mobility::{Field, Mobility, PathLoss};
+use hbr_sim::{DeviceId, SimDuration, SimRng, SimTime, Simulation, TraceEntry, Tracer};
+
+use crate::config::{FrameworkConfig, RadioStack};
+use crate::detector::{D2dDetector, MatchDecision, RelayAdvert};
+use crate::feedback::FeedbackTracker;
+use crate::incentive::RewardLedger;
+use crate::monitor::MessageMonitor;
+use crate::scheduler::{MessageScheduler, ScheduleDecision};
+
+/// A device's role in the framework (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Collects heartbeats from UEs and forwards them in aggregate.
+    Relay,
+    /// Hands its heartbeats to a nearby relay.
+    Ue,
+}
+
+/// How devices transport their heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's framework: D2D forwarding with scheduling + fallback.
+    D2dFramework,
+    /// The unmodified baseline: every heartbeat straight over cellular.
+    OriginalCellular,
+}
+
+/// Blueprint for one device in a scenario.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Relay or UE.
+    pub role: Role,
+    /// The IM apps installed (each contributes a heartbeat schedule).
+    pub apps: Vec<AppProfile>,
+    /// How the device moves.
+    pub mobility: Mobility,
+    /// Battery capacity in mAh; [`None`] = unlimited (mains powered).
+    pub battery_mah: Option<f64>,
+}
+
+/// Full description of a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Framework tunables.
+    pub framework: FrameworkConfig,
+    /// Radio models.
+    pub stack: RadioStack,
+    /// RSSI channel for discovery.
+    pub channel: PathLoss,
+    /// Transport mode (framework vs baseline).
+    pub mode: Mode,
+    /// Wall-clock length of the scenario.
+    pub duration: SimDuration,
+    /// Seed for every stochastic choice.
+    pub seed: u64,
+    /// Mean interval between mobile-terminated pushes per session
+    /// ([`None`] disables the downlink workload). Pushes are what the
+    /// always-online machinery exists for: the server only pages sessions
+    /// it believes are online, so presence lapses turn into missed
+    /// pushes.
+    pub push_interval: Option<SimDuration>,
+    /// Keep this many execution-trace entries for debugging (0 = off).
+    pub trace_capacity: usize,
+    /// Bill the D2D group keep-alive current for the whole time an
+    /// attachment stays open (honest accounting; the paper's
+    /// compressed-time bench omits it — see `ablation_idle`).
+    pub bill_d2d_idle: bool,
+    /// The devices, in [`DeviceId`] order.
+    pub devices: Vec<DeviceSpec>,
+}
+
+impl ScenarioConfig {
+    /// A convenience starting point: framework mode, default stack, no
+    /// devices yet.
+    pub fn new(duration: SimDuration, seed: u64) -> Self {
+        ScenarioConfig {
+            framework: FrameworkConfig::default(),
+            stack: RadioStack::default(),
+            channel: PathLoss::indoor_wifi(),
+            mode: Mode::D2dFramework,
+            duration,
+            seed,
+            push_interval: None,
+            trace_capacity: 0,
+            bill_d2d_idle: true,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Adds a device, returning its id.
+    pub fn add_device(&mut self, spec: DeviceSpec) -> DeviceId {
+        let id = DeviceId::new(self.devices.len() as u32);
+        self.devices.push(spec);
+        id
+    }
+}
+
+/// Per-device results.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// The device.
+    pub device: DeviceId,
+    /// Its role.
+    pub role: Role,
+    /// Total charge drawn, µAh.
+    pub energy_uah: f64,
+    /// Charge by paper-level phase group.
+    pub energy_by_group: Vec<(PhaseGroup, f64)>,
+    /// RRC connections this device established.
+    pub rrc_connections: u64,
+    /// Heartbeats this device forwarded over D2D (UE) or collected
+    /// (relay).
+    pub forwards: u64,
+    /// Cellular fallbacks this device performed.
+    pub fallbacks: u64,
+    /// Operator credits earned (relays).
+    pub rewards: u64,
+    /// Seconds this device's sessions spent offline.
+    pub offline_secs: f64,
+    /// Mean forwarded-heartbeats per flush (relays only).
+    pub mean_batch_size: Option<f64>,
+    /// Mean queueing delay a forwarded heartbeat spent in the relay's
+    /// buffer, seconds (relays only).
+    pub mean_queueing_delay_secs: Option<f64>,
+    /// `true` if the battery ran out during the scenario.
+    pub battery_depleted: bool,
+}
+
+/// Aggregate scenario results.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Per-device rows, in device order.
+    pub devices: Vec<DeviceReport>,
+    /// Total layer-3 messages at the base station.
+    pub total_l3: u64,
+    /// Total RRC connections at the base station.
+    pub total_rrc: u64,
+    /// Heartbeats accepted by the IM servers.
+    pub delivered: u64,
+    /// Heartbeats that arrived too late.
+    pub rejected_expired: u64,
+    /// Duplicate deliveries (relay + fallback races).
+    pub duplicates: u64,
+    /// Total seconds any session spent offline.
+    pub offline_secs: f64,
+    /// Mobile-terminated pushes delivered (session was online).
+    pub pushes_delivered: u64,
+    /// Pushes the server could not page out (session looked offline).
+    pub pushes_missed: u64,
+    /// Total system energy, µAh.
+    pub total_energy_uah: f64,
+    /// Execution trace (empty unless [`ScenarioConfig::trace_capacity`]
+    /// was set).
+    pub trace: Vec<TraceEntry>,
+}
+
+impl ScenarioReport {
+    /// Energy of all devices with the given role, µAh.
+    pub fn energy_for_role(&self, role: Role) -> f64 {
+        self.devices
+            .iter()
+            .filter(|d| d.role == role)
+            .map(|d| d.energy_uah)
+            .sum()
+    }
+
+    /// Renders the operator-console view of the run: aggregate counters
+    /// plus the per-relay ledger (the §III-D UI's information, as text).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "layer-3 messages : {}", self.total_l3);
+        let _ = writeln!(out, "RRC connections  : {}", self.total_rrc);
+        let _ = writeln!(out, "system energy    : {:.0} µAh", self.total_energy_uah);
+        let _ = writeln!(
+            out,
+            "heartbeats       : {} delivered, {} expired, {} duplicates",
+            self.delivered, self.rejected_expired, self.duplicates
+        );
+        if self.pushes_delivered + self.pushes_missed > 0 {
+            let _ = writeln!(
+                out,
+                "pushes           : {} delivered, {} missed",
+                self.pushes_delivered, self.pushes_missed
+            );
+        }
+        let _ = writeln!(out, "offline          : {:.0} s", self.offline_secs);
+        for dev in self.devices.iter().filter(|d| d.role == Role::Relay) {
+            let _ = writeln!(
+                out,
+                "relay {:>7}    : {:>5} collected, {:>5} credits, {:>9.0} µAh{}",
+                dev.device.to_string(),
+                dev.forwards,
+                dev.rewards,
+                dev.energy_uah,
+                if dev.battery_depleted { "  [battery dead]" } else { "" }
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A device's app heartbeat timer fired.
+    HeartbeatDue { device: usize, app_idx: usize },
+    /// A relay's flush deadline (generation guards stale events).
+    FlushDeadline { device: usize, generation: u64 },
+    /// A UE's feedback-timeout sweep.
+    FeedbackSweep { device: usize },
+    /// A UE's D2D link finished establishing; forward the pending batch.
+    LinkReady { device: usize },
+    /// The IM server has a mobile-terminated push for this session.
+    PushDue { device: usize, app_idx: usize },
+}
+
+struct Device {
+    id: DeviceId,
+    role: Role,
+    schedules: Vec<HeartbeatSchedule>,
+    monitor: MessageMonitor,
+    radio: CellularRadio,
+    meter: EnergyMeter,
+    battery: Option<Battery>,
+    rng: SimRng,
+    // Relay state.
+    scheduler: Option<MessageScheduler>,
+    own_pending: Vec<Heartbeat>,
+    deadline_generation: u64,
+    collected_total: u64,
+    // UE state.
+    attached_to: Option<usize>,
+    link: Option<D2dLink>,
+    /// When the current attachment's link became usable (idle billing).
+    attached_since: Option<SimTime>,
+    /// Relay-side: members currently attached, and since when the group
+    /// has been non-empty (idle billing).
+    member_count: usize,
+    group_idle_since: Option<SimTime>,
+    feedback: FeedbackTracker,
+    pending_until_ready: Vec<Heartbeat>,
+    forwards: u64,
+    fallbacks: u64,
+}
+
+impl Device {
+    fn is_alive(&self) -> bool {
+        self.battery.map(|b| !b.is_depleted()).unwrap_or(true)
+    }
+}
+
+/// Runs one scenario to completion and produces its report.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_apps::AppProfile;
+/// use hbr_core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
+/// use hbr_mobility::{Mobility, Position};
+/// use hbr_sim::SimDuration;
+///
+/// let mut config = ScenarioConfig::new(SimDuration::from_secs(3600), 42);
+/// config.add_device(DeviceSpec {
+///     role: Role::Relay,
+///     apps: vec![AppProfile::wechat()],
+///     mobility: Mobility::stationary(Position::new(0.0, 0.0)),
+///     battery_mah: None,
+/// });
+/// config.add_device(DeviceSpec {
+///     role: Role::Ue,
+///     apps: vec![AppProfile::wechat()],
+///     mobility: Mobility::stationary(Position::new(1.0, 0.0)),
+///     battery_mah: None,
+/// });
+///
+/// let report = Scenario::new(config).run();
+/// assert!(report.delivered > 0);
+/// ```
+pub struct Scenario {
+    config: ScenarioConfig,
+    sim: Simulation<Event>,
+    devices: Vec<Device>,
+    field: Field,
+    detector: D2dDetector,
+    servers: BTreeMap<AppId, ImServer>,
+    bs: BaseStation,
+    ledger: RewardLedger,
+    ids: MessageIdGen,
+    rng: SimRng,
+    cellular_uah_per_hb: f64,
+    pushes_delivered: u64,
+    pushes_missed: u64,
+    tracer: Tracer,
+}
+
+impl Scenario {
+    /// Builds the world from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no devices or an invalid
+    /// [`FrameworkConfig`].
+    pub fn new(config: ScenarioConfig) -> Self {
+        assert!(!config.devices.is_empty(), "scenario needs devices");
+        config.framework.validate();
+        let mut rng = SimRng::seed_from(config.seed);
+        let mut field = Field::new();
+        let mut servers: BTreeMap<AppId, ImServer> = BTreeMap::new();
+        let mut devices = Vec::with_capacity(config.devices.len());
+
+        for (i, spec) in config.devices.iter().enumerate() {
+            let id = DeviceId::new(i as u32);
+            field.insert(id, spec.mobility.clone());
+            let mut monitor = MessageMonitor::new();
+            let mut schedules = Vec::new();
+            for app in &spec.apps {
+                monitor.register(app.clone());
+                schedules.push(HeartbeatSchedule::new(id, app.clone(), 0.01));
+                servers
+                    .entry(app.id)
+                    .or_insert_with(|| ImServer::new(app.expiration));
+            }
+            let relay_period = spec
+                .apps
+                .first()
+                .map(|a| a.heartbeat_period)
+                .unwrap_or(SimDuration::from_secs(270));
+            let scheduler = (spec.role == Role::Relay).then(|| {
+                let mut scheduler = MessageScheduler::new(
+                    config.framework.relay_capacity,
+                    relay_period,
+                    SimDuration::from_secs(5),
+                    SimTime::ZERO,
+                );
+                if !config.framework.expiry_guard {
+                    scheduler = scheduler.without_expiry_guard();
+                }
+                // Periods are anchored at the relay's own heartbeats
+                // (Fig. 3); collection opens when the first one fires.
+                let _ = scheduler.take_batch();
+                scheduler
+            });
+            devices.push(Device {
+                id,
+                role: spec.role,
+                schedules,
+                monitor,
+                radio: CellularRadio::new(config.stack.cellular.clone()),
+                meter: EnergyMeter::new(),
+                battery: spec.battery_mah.map(Battery::with_capacity_mah),
+                rng: rng.fork(i as u64),
+                scheduler,
+                own_pending: Vec::new(),
+                deadline_generation: 0,
+                collected_total: 0,
+                attached_to: None,
+                link: None,
+                attached_since: None,
+                member_count: 0,
+                group_idle_since: None,
+                feedback: FeedbackTracker::new(config.framework.feedback_timeout),
+                pending_until_ready: Vec::new(),
+                forwards: 0,
+                fallbacks: 0,
+            });
+        }
+
+        let detector = D2dDetector::new(
+            config.framework.clone(),
+            config.stack.d2d.clone(),
+            config.channel,
+        );
+        let cellular_uah_per_hb = config.stack.cellular.full_cycle_charge_uah(74);
+        let reward = config.framework.reward_per_heartbeat;
+        let trace_capacity = config.trace_capacity;
+
+        let mut world = Scenario {
+            config,
+            sim: Simulation::new(),
+            devices,
+            field,
+            detector,
+            servers,
+            bs: BaseStation::new(1e9),
+            ledger: RewardLedger::new(reward),
+            ids: MessageIdGen::new(),
+            rng,
+            cellular_uah_per_hb,
+            pushes_delivered: 0,
+            pushes_missed: 0,
+            tracer: Tracer::with_capacity(trace_capacity),
+        };
+
+        // Register sessions as online at t = 0 and schedule first beats.
+        for i in 0..world.devices.len() {
+            for (app_idx, schedule) in world.devices[i].schedules.iter().enumerate() {
+                let app = schedule.app().id;
+                world
+                    .servers
+                    .get_mut(&app)
+                    .expect("server exists for registered app")
+                    .register(world.devices[i].id, app, SimTime::ZERO);
+                world.sim.schedule_at(
+                    schedule.peek_next(),
+                    Event::HeartbeatDue {
+                        device: i,
+                        app_idx,
+                    },
+                );
+                if let Some(mean) = world.config.push_interval {
+                    let first = SimTime::ZERO + world.rng.exp_duration(mean);
+                    world
+                        .sim
+                        .schedule_at(first, Event::PushDue { device: i, app_idx });
+                }
+            }
+        }
+        world
+    }
+
+    /// Runs to the configured horizon and reports.
+    pub fn run(mut self) -> ScenarioReport {
+        let end = SimTime::ZERO + self.config.duration;
+        while let Some(fired) = self.sim.pop_until(end) {
+            self.handle(fired.time, fired.event);
+        }
+        self.finish(end)
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::HeartbeatDue { device, app_idx } => self.on_heartbeat_due(now, device, app_idx),
+            Event::FlushDeadline { device, generation } => {
+                if self.devices[device].deadline_generation == generation {
+                    self.flush_relay(now, device);
+                }
+            }
+            Event::FeedbackSweep { device } => self.on_feedback_sweep(now, device),
+            Event::LinkReady { device } => self.on_link_ready(now, device),
+            Event::PushDue { device, app_idx } => self.on_push_due(now, device, app_idx),
+        }
+    }
+
+    /// The server wants to push a message to this session. It only pages
+    /// sessions whose expiration timer is alive; everything else is a
+    /// missed push — the user-visible cost of a presence lapse.
+    fn on_push_due(&mut self, now: SimTime, device: usize, app_idx: usize) {
+        let mean = self
+            .config
+            .push_interval
+            .expect("push events only exist with an interval");
+        let next = now + self.rng.exp_duration(mean);
+        self.sim
+            .schedule_at(next, Event::PushDue { device, app_idx });
+
+        let app = self.devices[device].schedules[app_idx].app().id;
+        let id = self.devices[device].id;
+        let online = self
+            .servers
+            .get(&app)
+            .map(|s| s.is_online(id, app, now))
+            .unwrap_or(false);
+        if !online || !self.devices[device].is_alive() {
+            self.pushes_missed += 1;
+            return;
+        }
+        self.pushes_delivered += 1;
+        let out = self.devices[device].radio.receive_paged(now, 512);
+        self.apply_activity(device, &out.activity.segments);
+        self.bs
+            .record(self.devices[device].id, &out.activity, out.rrc_connections);
+    }
+
+    fn on_heartbeat_due(&mut self, now: SimTime, device: usize, app_idx: usize) {
+        // Generate the heartbeat and schedule the next one.
+        let (hb, next_at) = {
+            let dev = &mut self.devices[device];
+            let hb = dev.schedules[app_idx].next_heartbeat(&mut self.ids, &mut dev.rng);
+            (hb, dev.schedules[app_idx].peek_next())
+        };
+        self.sim
+            .schedule_at(next_at, Event::HeartbeatDue { device, app_idx });
+
+        if !self.devices[device].is_alive() {
+            return; // dead devices emit nothing
+        }
+
+        match (self.config.mode, self.devices[device].role) {
+            (Mode::OriginalCellular, _) => self.send_cellular(now, device, hb),
+            (Mode::D2dFramework, Role::Relay) => self.on_relay_own_heartbeat(now, device, hb),
+            (Mode::D2dFramework, Role::Ue) => self.on_ue_heartbeat(now, device, hb),
+        }
+    }
+
+    /// A relay's own heartbeat anchors its scheduling period (Fig. 3): it
+    /// is *delayed* up to `T` and flushed together with the collected
+    /// batch.
+    fn on_relay_own_heartbeat(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        if !self.devices[device]
+            .scheduler
+            .as_ref()
+            .expect("relay has a scheduler")
+            .is_collecting()
+            && !self.devices[device].own_pending.is_empty()
+        {
+            // Shouldn't happen (flush clears own_pending), defensive only.
+            self.flush_relay(now, device);
+        }
+        if !self.devices[device].own_pending.is_empty() {
+            // Previous period never flushed (e.g. deadline still ahead but a
+            // new own heartbeat arrived due to jitter): flush the old batch
+            // first so periods never overlap.
+            self.flush_relay(now, device);
+        }
+        let dev = &mut self.devices[device];
+        dev.own_pending.push(hb);
+        let scheduler = dev.scheduler.as_mut().expect("relay has a scheduler");
+        if !scheduler.is_collecting() {
+            scheduler.begin_period(now);
+        }
+        let deadline = scheduler.next_deadline();
+        dev.deadline_generation += 1;
+        let generation = dev.deadline_generation;
+        self.sim
+            .schedule_at(deadline.max(now), Event::FlushDeadline { device, generation });
+    }
+
+    /// Extra slack a UE requires beyond the relay's aggregation window
+    /// before delegating a message (§VII's delay-tolerance constraint).
+    const DELEGATION_CUSHION: SimDuration = SimDuration::from_secs(30);
+
+    /// `true` if a message with this much remaining slack may be handed
+    /// to a relay with the given aggregation period.
+    fn delegation_allowed(&self, slack: SimDuration, relay_period: SimDuration) -> bool {
+        !self.config.framework.delegation_slack_check
+            || slack >= relay_period + Self::DELEGATION_CUSHION
+    }
+
+    fn on_ue_heartbeat(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        let intercepted = self.devices[device].monitor.intercept(hb);
+        let Some(intercepted) = intercepted else {
+            self.send_cellular(now, device, hb);
+            return;
+        };
+        let hb = intercepted.heartbeat;
+
+        // Already attached with a live link?
+        if let Some(relay_idx) = self.devices[device].attached_to {
+            let relay_period = self.devices[relay_idx]
+                .scheduler
+                .as_ref()
+                .map(|s| s.period())
+                .unwrap_or(SimDuration::from_secs(270));
+            if !self.delegation_allowed(hb.slack(now), relay_period) {
+                // Not delay-tolerant enough for this relay's window: the
+                // message takes the direct path; the attachment survives
+                // for the device's other, slower classes.
+                self.send_cellular(now, device, hb);
+                return;
+            }
+            let link_ready = self.devices[device]
+                .link
+                .as_ref()
+                .map(|l| l.is_ready(now))
+                .unwrap_or(false);
+            if link_ready && self.devices[relay_idx].is_alive() {
+                self.forward_over_link(now, device, relay_idx, hb);
+                return;
+            }
+            // Link establishing: queue behind it.
+            if self.devices[device].link.as_ref().and_then(|l| l.ready_at()).is_some() {
+                self.devices[device].pending_until_ready.push(hb);
+                return;
+            }
+            // Link died or relay dead: detach and re-match below.
+            self.detach_ue(device, now);
+        }
+
+        self.match_and_forward(now, device, hb);
+    }
+
+    fn match_and_forward(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        self.field.advance_to(now, &mut self.rng);
+        let Some(ue_pos) = self.field.position(self.devices[device].id) else {
+            self.send_cellular(now, device, hb);
+            return;
+        };
+
+        // Build adverts from live relays whose aggregation window fits
+        // the message's slack (the delegation policy).
+        let slack = hb.slack(now);
+        let adverts: Vec<RelayAdvert> = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| *i != device && d.role == Role::Relay && d.is_alive())
+            .filter_map(|(_, d)| {
+                let scheduler = d.scheduler.as_ref()?;
+                let position = self.field.position(d.id)?;
+                Some((scheduler.period(), RelayAdvert {
+                    device: d.id,
+                    free_capacity: scheduler
+                        .capacity()
+                        .saturating_sub(scheduler.collected()),
+                    go_intent: scheduler.go_intent(),
+                    position,
+                }))
+            })
+            .filter(|(period, _)| {
+                !self.config.framework.delegation_slack_check
+                    || slack >= *period + Self::DELEGATION_CUSHION
+            })
+            .map(|(_, advert)| advert)
+            .collect();
+
+        // The UE pays a discovery scan whenever it has to (re)match. Only
+        // the relay that ends up matched pays its responder cost (the
+        // beacon exchange of the pairing, Table III); idle relays answer
+        // probe requests from their always-on listen state at negligible
+        // marginal cost.
+        let scan = self
+            .config
+            .stack
+            .d2d
+            .discovery(now, hbr_d2d::D2dRole::Initiator);
+        self.apply_activity(device, &scan.segments);
+
+        let expected_forwards = 8;
+        let decision = {
+            let dev_rng = &mut self.devices[device].rng;
+            self.detector.match_relay(
+                ue_pos,
+                &adverts,
+                expected_forwards,
+                self.cellular_uah_per_hb,
+                dev_rng,
+            )
+        };
+
+        match decision {
+            MatchDecision::UseRelay { relay, .. } => {
+                let relay_idx = relay.index() as usize;
+                let listen = self
+                    .config
+                    .stack
+                    .d2d
+                    .discovery(now, hbr_d2d::D2dRole::Responder);
+                self.apply_activity(relay_idx, &listen.segments);
+                let conn_start = scan.done_at;
+                let ue_conn = self
+                    .config
+                    .stack
+                    .d2d
+                    .connection(conn_start, hbr_d2d::D2dRole::Initiator);
+                let relay_conn = self
+                    .config
+                    .stack
+                    .d2d
+                    .connection(conn_start, hbr_d2d::D2dRole::Responder);
+                let ready_at = ue_conn.done_at;
+                self.apply_activity(device, &ue_conn.segments);
+                self.apply_activity(relay_idx, &relay_conn.segments);
+                self.tracer.record(
+                    now,
+                    "attach",
+                    format!(
+                        "{} matches relay {}",
+                        self.devices[device].id, self.devices[relay_idx].id
+                    ),
+                );
+                let dev = &mut self.devices[device];
+                dev.attached_to = Some(relay_idx);
+                dev.link = Some(D2dLink::establish_pending(
+                    self.config.stack.d2d.clone(),
+                    ready_at,
+                ));
+                dev.pending_until_ready.push(hb);
+                self.note_attached(device, relay_idx, ready_at);
+                self.sim.schedule_at(ready_at, Event::LinkReady { device });
+            }
+            MatchDecision::DirectCellular(_) => self.send_cellular(now, device, hb),
+        }
+    }
+
+    fn on_link_ready(&mut self, now: SimTime, device: usize) {
+        let pending = std::mem::take(&mut self.devices[device].pending_until_ready);
+        for hb in pending {
+            // A failed forward can close the link and detach the UE
+            // mid-batch, so re-check the attachment for every message.
+            match (
+                self.devices[device].attached_to,
+                self.devices[device].link.is_some(),
+            ) {
+                (Some(relay_idx), true) => self.forward_over_link(now, device, relay_idx, hb),
+                _ => self.send_cellular(now, device, hb),
+            }
+        }
+    }
+
+    fn forward_over_link(&mut self, now: SimTime, device: usize, relay_idx: usize, hb: Heartbeat) {
+        self.field.advance_to(now, &mut self.rng);
+        let distance = self
+            .field
+            .distance(self.devices[device].id, self.devices[relay_idx].id)
+            .unwrap_or(f64::INFINITY);
+        let relay_alive = self.devices[relay_idx].is_alive();
+
+        let outcome = {
+            let dev = &mut self.devices[device];
+            let link = dev.link.as_mut().expect("attached UE has a link");
+            let mut outcome = link.transfer(now, hb.size, distance, &mut dev.rng);
+            if !relay_alive {
+                // A dead relay never receives; the sender still paid.
+                outcome.success = false;
+                outcome.receiver.segments.clear();
+            }
+            outcome
+        };
+
+        let sender_segments = outcome.sender.segments.clone();
+        self.apply_activity(device, &sender_segments);
+
+        // Arm the fallback timer regardless of link-layer success: the UE
+        // only learns the truth through delivery feedback (§III-A).
+        let deadline = self.devices[device].feedback.on_forward(hb, now);
+        self.sim
+            .schedule_at(deadline, Event::FeedbackSweep { device });
+        self.devices[device].forwards += 1;
+
+        if !outcome.success {
+            if matches!(
+                self.devices[device].link.as_ref().map(|l| l.state()),
+                Some(hbr_d2d::LinkState::Closed)
+            ) {
+                self.detach_ue(device, now);
+            }
+            return;
+        }
+
+        self.apply_activity(relay_idx, &outcome.receiver.segments);
+        let arrival = outcome.completed_at;
+        let decision = self.devices[relay_idx]
+            .scheduler
+            .as_mut()
+            .expect("relay has a scheduler")
+            .on_arrival(arrival, hb);
+        self.devices[relay_idx].collected_total += 1;
+        match decision {
+            ScheduleDecision::Pend => {
+                let dev = &mut self.devices[relay_idx];
+                let deadline = dev
+                    .scheduler
+                    .as_ref()
+                    .expect("relay has a scheduler")
+                    .next_deadline();
+                dev.deadline_generation += 1;
+                let generation = dev.deadline_generation;
+                self.sim.schedule_at(
+                    deadline.max(arrival),
+                    Event::FlushDeadline {
+                        device: relay_idx,
+                        generation,
+                    },
+                );
+            }
+            ScheduleDecision::Flush(_) => self.flush_relay(arrival, relay_idx),
+            ScheduleDecision::Rejected => {
+                // Relay is full or between flush and next period: the
+                // heartbeat will be rescued by the UE's feedback timeout,
+                // and the UE detaches so its next heartbeat re-matches to
+                // a relay with free capacity (the goIntent-0 signal of
+                // §IV-C).
+                self.devices[relay_idx].collected_total -= 1;
+                self.detach_ue(device, arrival);
+            }
+        }
+    }
+
+    fn flush_relay(&mut self, now: SimTime, device: usize) {
+        if !self.devices[device].is_alive() {
+            return; // dead relays transmit nothing; UEs' timers rescue
+        }
+        let (batch, own) = {
+            let dev = &mut self.devices[device];
+            let scheduler = dev.scheduler.as_mut().expect("relay has a scheduler");
+            let batch = scheduler.take_batch_at(now);
+            let own = std::mem::take(&mut dev.own_pending);
+            (batch, own)
+        };
+        if batch.is_empty() && own.is_empty() {
+            return;
+        }
+        let bytes: usize = batch.iter().chain(own.iter()).map(|h| h.size).sum();
+        self.tracer.record(
+            now,
+            "flush",
+            format!(
+                "{} sends {} collected + {} own ({bytes} B)",
+                self.devices[device].id,
+                batch.len(),
+                own.len()
+            ),
+        );
+        let out = {
+            let dev = &mut self.devices[device];
+            dev.radio.transmit(now, bytes)
+        };
+        self.apply_activity(device, &out.activity.segments);
+        self.bs
+            .record(self.devices[device].id, &out.activity, out.rrc_connections);
+
+        let delivered_at = out.delivered_at;
+        self.ledger
+            .credit_forwards(self.devices[device].id, batch.len() as u64);
+
+        // Deliver to the IM servers and send feedback to the source UEs.
+        let mut by_source: BTreeMap<DeviceId, Vec<hbr_apps::MessageId>> = BTreeMap::new();
+        for hb in batch.iter().chain(own.iter()) {
+            if let Some(server) = self.servers.get_mut(&hb.app) {
+                server.deliver(hb, delivered_at);
+            }
+            by_source.entry(hb.source).or_default().push(hb.id);
+        }
+        for (source, ids) in by_source {
+            let idx = source.index() as usize;
+            if idx != device {
+                self.devices[idx].feedback.on_delivered(ids);
+            }
+        }
+    }
+
+    fn on_feedback_sweep(&mut self, now: SimTime, device: usize) {
+        let due = self.devices[device].feedback.expire_due(now);
+        for pending in due {
+            self.devices[device].fallbacks += 1;
+            self.tracer.record(
+                now,
+                "fallback",
+                format!(
+                    "{} rescues {} over cellular",
+                    self.devices[device].id, pending.heartbeat.id
+                ),
+            );
+            self.send_cellular(now, device, pending.heartbeat);
+        }
+    }
+
+    /// Plain cellular transmission of one heartbeat, shared by the
+    /// baseline mode and every fallback path.
+    fn send_cellular(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        if !self.devices[device].is_alive() {
+            return;
+        }
+        let out = self.devices[device].radio.transmit(now, hb.size);
+        self.apply_activity(device, &out.activity.segments);
+        self.bs
+            .record(self.devices[device].id, &out.activity, out.rrc_connections);
+        if let Some(server) = self.servers.get_mut(&hb.app) {
+            server.deliver(&hb, out.delivered_at);
+        }
+    }
+
+    /// Bills the D2D keep-alive a UE paid while attached, detaches it and
+    /// updates the relay's group membership (billing the relay's share
+    /// when its group empties).
+    fn detach_ue(&mut self, device: usize, now: SimTime) {
+        let relay_idx = self.devices[device].attached_to.take();
+        let had_link = self.devices[device].link.take().is_some();
+        if self.config.bill_d2d_idle {
+            if let Some(since) = self.devices[device].attached_since.take() {
+                let idle = self.config.stack.d2d.idle(since, now.max(since));
+                self.apply_activity(device, &idle.segments);
+            }
+            if had_link {
+                let bye = self
+                    .config
+                    .stack
+                    .d2d
+                    .teardown(now, hbr_d2d::D2dRole::Initiator);
+                self.apply_activity(device, &bye.segments);
+            }
+        } else {
+            self.devices[device].attached_since = None;
+        }
+        if let Some(r) = relay_idx {
+            let relay = &mut self.devices[r];
+            relay.member_count = relay.member_count.saturating_sub(1);
+            if relay.member_count == 0 {
+                if let Some(since) = relay.group_idle_since.take() {
+                    if self.config.bill_d2d_idle {
+                        let idle = self.config.stack.d2d.idle(since, now.max(since));
+                        self.apply_activity(r, &idle.segments);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks a UE attached (link ready) for idle billing.
+    fn note_attached(&mut self, device: usize, relay_idx: usize, ready_at: SimTime) {
+        self.devices[device].attached_since = Some(ready_at);
+        let relay = &mut self.devices[relay_idx];
+        if relay.member_count == 0 {
+            relay.group_idle_since = Some(ready_at);
+        }
+        relay.member_count += 1;
+    }
+
+    fn apply_activity(&mut self, device: usize, segments: &[(SimTime, Segment)]) {
+        let dev = &mut self.devices[device];
+        let mut charge = MicroAmpHours::ZERO;
+        for (start, seg) in segments {
+            dev.meter.add_segment(*start, *seg);
+            charge += seg.charge();
+        }
+        if let Some(battery) = dev.battery.as_mut() {
+            battery.drain(charge);
+        }
+    }
+
+    fn finish(mut self, end: SimTime) -> ScenarioReport {
+        // Close the books on attachments still open at the horizon.
+        if self.config.bill_d2d_idle {
+            for i in 0..self.devices.len() {
+                if self.devices[i].attached_to.is_some() {
+                    if let Some(since) = self.devices[i].attached_since.take() {
+                        let idle = self.config.stack.d2d.idle(since, end.max(since));
+                        self.apply_activity(i, &idle.segments);
+                    }
+                }
+                if let Some(since) = self.devices[i].group_idle_since.take() {
+                    let idle = self.config.stack.d2d.idle(since, end.max(since));
+                    self.apply_activity(i, &idle.segments);
+                }
+            }
+        }
+        // Drain radio tails.
+        for i in 0..self.devices.len() {
+            let tail = self.devices[i].radio.finalize(end + SimDuration::from_secs(60));
+            let id = self.devices[i].id;
+            self.apply_activity(i, &tail.segments);
+            self.bs.record(id, &tail, 0);
+        }
+
+        let mut delivered = 0;
+        let mut rejected = 0;
+        let mut duplicates = 0;
+        let mut offline = 0.0;
+        for server in self.servers.values() {
+            delivered += server.delivered();
+            rejected += server.rejected_expired();
+            duplicates += server.duplicates();
+        }
+        let per_device_offline: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|dev| {
+                dev.schedules
+                    .iter()
+                    .map(|schedule| {
+                        let app = schedule.app().id;
+                        self.servers
+                            .get(&app)
+                            .map(|server| {
+                                server
+                                    .offline_time(dev.id, app, SimTime::ZERO, end)
+                                    .as_secs_f64()
+                            })
+                            .unwrap_or(0.0)
+                    })
+                    .sum()
+            })
+            .collect();
+        offline += per_device_offline.iter().sum::<f64>();
+
+        let devices: Vec<DeviceReport> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DeviceReport {
+                device: d.id,
+                role: d.role,
+                energy_uah: d.meter.total().as_micro_amp_hours(),
+                energy_by_group: PhaseGroup::ALL
+                    .iter()
+                    .map(|g| (*g, d.meter.group_total(*g).as_micro_amp_hours()))
+                    .filter(|(_, e)| *e > 0.0)
+                    .collect(),
+                rrc_connections: d.radio.connections(),
+                forwards: if d.role == Role::Relay {
+                    d.collected_total
+                } else {
+                    d.forwards
+                },
+                fallbacks: d.fallbacks + d.feedback.fallbacks(),
+                rewards: self.ledger.balance(d.id),
+                offline_secs: per_device_offline[i],
+                mean_batch_size: d
+                    .scheduler
+                    .as_ref()
+                    .and_then(|s| s.stats().batch_sizes.mean()),
+                mean_queueing_delay_secs: d
+                    .scheduler
+                    .as_ref()
+                    .and_then(|s| s.stats().queueing_delay_secs.mean()),
+                battery_depleted: d.battery.map(|b| b.is_depleted()).unwrap_or(false),
+            })
+            .collect();
+
+        let total_energy_uah = devices.iter().map(|d| d.energy_uah).sum();
+        ScenarioReport {
+            devices,
+            total_l3: self.bs.total_l3(),
+            total_rrc: self.bs.rrc_connections(),
+            delivered,
+            rejected_expired: rejected,
+            duplicates,
+            offline_secs: offline,
+            pushes_delivered: self.pushes_delivered,
+            pushes_missed: self.pushes_missed,
+            total_energy_uah,
+            trace: self.tracer.iter().cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbr_mobility::Position;
+
+    fn spec(role: Role, x: f64) -> DeviceSpec {
+        DeviceSpec {
+            role,
+            apps: vec![AppProfile::wechat()],
+            mobility: Mobility::stationary(Position::new(x, 0.0)),
+            battery_mah: None,
+        }
+    }
+
+    fn basic_config(mode: Mode) -> ScenarioConfig {
+        let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 42);
+        config.mode = mode;
+        config.add_device(spec(Role::Relay, 0.0));
+        config.add_device(spec(Role::Ue, 1.0));
+        config.add_device(spec(Role::Ue, 2.0));
+        config
+    }
+
+    #[test]
+    fn framework_beats_baseline_on_signaling_and_energy() {
+        let fw = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        let base = Scenario::new(basic_config(Mode::OriginalCellular)).run();
+        assert!(
+            fw.total_l3 < base.total_l3 / 2,
+            "framework {} vs baseline {} L3 messages",
+            fw.total_l3,
+            base.total_l3
+        );
+        assert!(fw.total_energy_uah < base.total_energy_uah);
+        assert!(fw.total_rrc < base.total_rrc);
+    }
+
+    #[test]
+    fn presence_never_lapses_under_the_framework() {
+        let report = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        assert_eq!(report.rejected_expired, 0, "no heartbeat may expire");
+        assert_eq!(
+            report.offline_secs, 0.0,
+            "no session may ever appear offline"
+        );
+        assert_eq!(report.duplicates, 0, "feedback must prevent double sends");
+        assert!(report.delivered > 0);
+    }
+
+    #[test]
+    fn relay_earns_rewards_for_forwards() {
+        let report = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        let relay = &report.devices[0];
+        assert_eq!(relay.role, Role::Relay);
+        assert!(relay.rewards > 0);
+        // Heartbeats still buffered at the horizon are collected but not
+        // yet credited, so rewards can trail forwards slightly.
+        assert!(relay.rewards <= relay.forwards);
+        assert!(relay.rewards + 2 >= relay.forwards);
+    }
+
+    #[test]
+    fn dead_relay_triggers_fallbacks_without_losing_presence() {
+        let mut config = basic_config(Mode::D2dFramework);
+        // A relay with a tiny battery dies early in the scenario.
+        config.devices[0].battery_mah = Some(2.0);
+        let report = Scenario::new(config).run();
+        let relay = &report.devices[0];
+        assert!(relay.battery_depleted, "relay should exhaust its battery");
+        let ue_fallbacks: u64 = report.devices[1..].iter().map(|d| d.fallbacks).sum();
+        assert!(ue_fallbacks > 0, "UEs must rescue their heartbeats");
+        // The dead relay itself is legitimately offline, but the UEs'
+        // fallback path must keep *their* presence alive.
+        for ue in &report.devices[1..] {
+            assert_eq!(ue.offline_secs, 0.0, "{} lapsed", ue.device);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ue_uses_cellular() {
+        let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), 7);
+        config.add_device(spec(Role::Relay, 0.0));
+        // 60 m away: in Wi-Fi Direct range but beyond the 15 m match limit.
+        config.add_device(spec(Role::Ue, 60.0));
+        let report = Scenario::new(config).run();
+        let ue = &report.devices[1];
+        assert_eq!(ue.forwards, 0, "no D2D forwards at 60 m");
+        assert!(ue.rrc_connections > 0, "heartbeats flow over cellular");
+        assert_eq!(report.offline_secs, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        let b = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        assert_eq!(a.total_l3, b.total_l3);
+        assert_eq!(a.delivered, b.delivered);
+        assert!((a.total_energy_uah - b.total_energy_uah).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pushes_reach_online_sessions_and_skip_dead_ones() {
+        let mut config = basic_config(Mode::D2dFramework);
+        config.push_interval = Some(SimDuration::from_secs(1200));
+        // One UE dies early: its pushes must be missed, the others' not.
+        config.devices[2].battery_mah = Some(0.5);
+        let report = Scenario::new(config).run();
+        assert!(report.pushes_delivered > 0, "healthy sessions get pushes");
+        assert!(
+            report.pushes_missed > 0,
+            "the dead UE's session must miss pushes"
+        );
+        let dead = &report.devices[2];
+        assert!(dead.battery_depleted);
+        assert!(dead.offline_secs > 0.0);
+    }
+
+    #[test]
+    fn trace_captures_the_story_in_order() {
+        let mut config = basic_config(Mode::D2dFramework);
+        config.trace_capacity = 10_000;
+        let report = Scenario::new(config).run();
+        assert!(!report.trace.is_empty());
+        // Ordered by time.
+        for w in report.trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // The story contains attachments and flushes.
+        assert!(report.trace.iter().any(|e| e.label == "attach"));
+        assert!(report.trace.iter().any(|e| e.label == "flush"));
+        // And renders non-empty text lines.
+        assert!(report.trace[0].to_string().contains("s]"));
+    }
+
+    #[test]
+    fn idle_billing_adds_energy_but_framework_still_wins() {
+        let honest = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        let mut paper_bench = basic_config(Mode::D2dFramework);
+        paper_bench.bill_d2d_idle = false;
+        let unbilled = Scenario::new(paper_bench).run();
+        assert!(
+            honest.total_energy_uah > unbilled.total_energy_uah,
+            "keep-alive billing must cost something: {} vs {}",
+            honest.total_energy_uah,
+            unbilled.total_energy_uah
+        );
+        let base = Scenario::new(basic_config(Mode::OriginalCellular)).run();
+        assert!(
+            honest.total_energy_uah < base.total_energy_uah,
+            "the framework must win even with honest idle accounting"
+        );
+    }
+
+    #[test]
+    fn trace_is_off_by_default() {
+        let report = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn pushes_disabled_by_default() {
+        let report = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        assert_eq!(report.pushes_delivered, 0);
+        assert_eq!(report.pushes_missed, 0);
+    }
+
+    #[test]
+    fn baseline_mode_never_uses_d2d() {
+        let report = Scenario::new(basic_config(Mode::OriginalCellular)).run();
+        for dev in &report.devices {
+            let d2d: f64 = dev
+                .energy_by_group
+                .iter()
+                .filter(|(g, _)| {
+                    matches!(
+                        g,
+                        PhaseGroup::Discovery | PhaseGroup::Connection | PhaseGroup::Forwarding
+                    )
+                })
+                .map(|(_, e)| e)
+                .sum();
+            assert_eq!(d2d, 0.0, "baseline device {} used D2D", dev.device);
+        }
+    }
+}

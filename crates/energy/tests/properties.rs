@@ -1,0 +1,119 @@
+//! Property tests for energy accounting invariants.
+
+use hbr_energy::{CurrentProfile, EnergyMeter, MicroAmpHours, MilliAmps, Phase, PowerMonitor};
+use hbr_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    prop::sample::select(Phase::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_segment()(
+        start_ms in 0u64..100_000,
+        dur_ms in 1u64..60_000,
+        current in 0.0f64..2_000.0,
+        phase in arb_phase(),
+    ) -> (SimTime, SimDuration, MilliAmps, Phase) {
+        (
+            SimTime::from_millis(start_ms),
+            SimDuration::from_millis(dur_ms),
+            MilliAmps::new(current),
+            phase,
+        )
+    }
+}
+
+proptest! {
+    /// The meter total always equals the sum of phase totals (energy is
+    /// conserved across attribution).
+    #[test]
+    fn phases_partition_total(segs in proptest::collection::vec(arb_segment(), 1..40)) {
+        let mut meter = EnergyMeter::new();
+        for (start, dur, current, phase) in segs {
+            meter.apply(start, &CurrentProfile::constant(current, dur, phase));
+        }
+        let by_phase: f64 = Phase::ALL
+            .iter()
+            .map(|p| meter.phase_total(*p).as_micro_amp_hours())
+            .sum();
+        let total = meter.total().as_micro_amp_hours();
+        prop_assert!((by_phase - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Windowed charge is additive: [a,b) + [b,c) == [a,c).
+    #[test]
+    fn windows_are_additive(
+        segs in proptest::collection::vec(arb_segment(), 1..20),
+        cut_ms in 0u64..200_000,
+    ) {
+        let mut meter = EnergyMeter::new();
+        for (start, dur, current, phase) in segs {
+            meter.apply(start, &CurrentProfile::constant(current, dur, phase));
+        }
+        let a = SimTime::ZERO;
+        let b = SimTime::from_millis(cut_ms);
+        let c = SimTime::from_millis(400_000);
+        let left = meter.charge_between(a, b).as_micro_amp_hours();
+        let right = meter.charge_between(b, c).as_micro_amp_hours();
+        let whole = meter.charge_between(a, c).as_micro_amp_hours();
+        prop_assert!((left + right - whole).abs() < 1e-6 * whole.max(1.0));
+    }
+
+    /// The sampled Power Monitor integral converges to the exact integral
+    /// within one sample of peak current per segment boundary.
+    #[test]
+    fn monitor_close_to_exact(segs in proptest::collection::vec(arb_segment(), 1..10)) {
+        let mut meter = EnergyMeter::new();
+        let mut peak = 0.0f64;
+        for (start, dur, current, phase) in &segs {
+            meter.apply(*start, &CurrentProfile::constant(*current, *dur, *phase));
+            peak = peak.max(current.as_milli_amps());
+        }
+        let monitor = PowerMonitor::paper_instrument();
+        let end = meter.end_time() + SimDuration::from_secs(1);
+        let sampled = monitor.measure(&meter, SimTime::ZERO, end).as_micro_amp_hours();
+        let exact = meter.total().as_micro_amp_hours();
+        // Each segment contributes at most 2 boundary samples of error.
+        let bound = MilliAmps::new(peak.max(1.0))
+            .over(SimDuration::from_millis(200))
+            .as_micro_amp_hours()
+            * segs.len() as f64;
+        prop_assert!(
+            (sampled - exact).abs() <= bound,
+            "sampled {sampled} vs exact {exact}, bound {bound}"
+        );
+    }
+
+    /// Merging meters adds their totals exactly.
+    #[test]
+    fn merge_adds_totals(
+        a_segs in proptest::collection::vec(arb_segment(), 0..10),
+        b_segs in proptest::collection::vec(arb_segment(), 0..10),
+    ) {
+        let mut a = EnergyMeter::new();
+        for (start, dur, current, phase) in a_segs {
+            a.apply(start, &CurrentProfile::constant(current, dur, phase));
+        }
+        let mut b = EnergyMeter::new();
+        for (start, dur, current, phase) in b_segs {
+            b.apply(start, &CurrentProfile::constant(current, dur, phase));
+        }
+        let before = a.total().as_micro_amp_hours() + b.total().as_micro_amp_hours();
+        a.merge(&b);
+        prop_assert!((a.total().as_micro_amp_hours() - before).abs() < 1e-9 * before.max(1.0));
+    }
+
+    /// A battery never reports a negative remaining charge or a level
+    /// outside [0, 1].
+    #[test]
+    fn battery_bounds(capacity in 1.0f64..10_000.0, drains in proptest::collection::vec(0.0f64..5_000.0, 0..20)) {
+        let mut battery = hbr_energy::Battery::new(MicroAmpHours::new(capacity));
+        for d in drains {
+            battery.drain(MicroAmpHours::new(d));
+            let level = battery.level();
+            prop_assert!((0.0..=1.0).contains(&level));
+            prop_assert!(battery.remaining() <= battery.capacity());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The deployment field: every device's mobility track in one place.
+
+use std::collections::BTreeMap;
+
+use hbr_sim::{DeviceId, SimRng, SimTime};
+
+use crate::model::Mobility;
+use crate::position::Position;
+
+/// Tracks the mobility model of every device and answers position,
+/// distance and neighbourhood queries at the current simulation time.
+///
+/// Devices are stored in a `BTreeMap` so iteration order (and therefore
+/// any randomness consumed while advancing models) is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_mobility::{Field, Mobility, Position};
+/// use hbr_sim::{DeviceId, SimRng, SimTime};
+///
+/// let mut field = Field::new();
+/// field.insert(DeviceId::new(0), Mobility::stationary(Position::ORIGIN));
+/// field.insert(DeviceId::new(1), Mobility::stationary(Position::new(6.0, 8.0)));
+/// field.insert(DeviceId::new(2), Mobility::stationary(Position::new(100.0, 0.0)));
+///
+/// let near = field.neighbours_within(DeviceId::new(0), 20.0);
+/// assert_eq!(near, vec![(DeviceId::new(1), 10.0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Field {
+    tracks: BTreeMap<DeviceId, Mobility>,
+    now: SimTime,
+}
+
+impl Field {
+    /// Creates an empty field at time zero.
+    pub fn new() -> Self {
+        Field::default()
+    }
+
+    /// Registers (or replaces) the mobility model for `device`.
+    pub fn insert(&mut self, device: DeviceId, mobility: Mobility) {
+        self.tracks.insert(device, mobility);
+    }
+
+    /// Removes a device's track, returning it if present.
+    pub fn remove(&mut self, device: DeviceId) -> Option<Mobility> {
+        self.tracks.remove(&device)
+    }
+
+    /// Number of tracked devices.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// `true` if no devices are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// The instant the field was last advanced to.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances every device's mobility model to `now`. Instants at or
+    /// before the current field time are no-ops — the field never rewinds.
+    pub fn advance_to(&mut self, now: SimTime, rng: &mut SimRng) {
+        if now <= self.now {
+            return;
+        }
+        for mobility in self.tracks.values_mut() {
+            mobility.advance_to(now, rng);
+        }
+        self.now = now;
+    }
+
+    /// The position of `device` as of the last advance, if it is tracked.
+    pub fn position(&self, device: DeviceId) -> Option<Position> {
+        self.tracks.get(&device).map(Mobility::position)
+    }
+
+    /// Distance in metres between two tracked devices.
+    pub fn distance(&self, a: DeviceId, b: DeviceId) -> Option<f64> {
+        Some(self.position(a)?.distance_to(self.position(b)?))
+    }
+
+    /// All other devices within `radius` metres of `device`, sorted by
+    /// ascending distance (ties broken by device id for determinism).
+    /// Returns an empty vector if `device` is not tracked.
+    pub fn neighbours_within(&self, device: DeviceId, radius: f64) -> Vec<(DeviceId, f64)> {
+        let Some(centre) = self.position(device) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(DeviceId, f64)> = self
+            .tracks
+            .iter()
+            .filter(|(id, _)| **id != device)
+            .map(|(id, m)| (*id, centre.distance_to(m.position())))
+            .filter(|(_, d)| *d <= radius)
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Iterates over `(device, position)` pairs in device-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, Position)> + '_ {
+        self.tracks.iter().map(|(id, m)| (*id, m.position()))
+    }
+}
+
+impl Extend<(DeviceId, Mobility)> for Field {
+    fn extend<T: IntoIterator<Item = (DeviceId, Mobility)>>(&mut self, iter: T) {
+        for (id, m) in iter {
+            self.insert(id, m);
+        }
+    }
+}
+
+impl FromIterator<(DeviceId, Mobility)> for Field {
+    fn from_iter<T: IntoIterator<Item = (DeviceId, Mobility)>>(iter: T) -> Self {
+        let mut f = Field::new();
+        f.extend(iter);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(i: u32) -> DeviceId {
+        DeviceId::new(i)
+    }
+
+    fn static_field(positions: &[(u32, f64, f64)]) -> Field {
+        positions
+            .iter()
+            .map(|&(i, x, y)| (dev(i), Mobility::stationary(Position::new(x, y))))
+            .collect()
+    }
+
+    #[test]
+    fn positions_and_distances() {
+        let field = static_field(&[(0, 0.0, 0.0), (1, 3.0, 4.0)]);
+        assert_eq!(field.position(dev(0)), Some(Position::ORIGIN));
+        assert_eq!(field.distance(dev(0), dev(1)), Some(5.0));
+        assert_eq!(field.distance(dev(0), dev(9)), None);
+        assert_eq!(field.position(dev(9)), None);
+    }
+
+    #[test]
+    fn neighbours_sorted_and_filtered() {
+        let field = static_field(&[
+            (0, 0.0, 0.0),
+            (1, 10.0, 0.0),
+            (2, 5.0, 0.0),
+            (3, 100.0, 0.0),
+        ]);
+        let n = field.neighbours_within(dev(0), 20.0);
+        assert_eq!(n, vec![(dev(2), 5.0), (dev(1), 10.0)]);
+        assert!(field.neighbours_within(dev(9), 20.0).is_empty());
+    }
+
+    #[test]
+    fn neighbour_ties_break_by_id() {
+        let field = static_field(&[(0, 0.0, 0.0), (2, 1.0, 0.0), (1, -1.0, 0.0)]);
+        let n = field.neighbours_within(dev(0), 5.0);
+        assert_eq!(n, vec![(dev(1), 1.0), (dev(2), 1.0)]);
+    }
+
+    #[test]
+    fn advance_moves_walkers() {
+        let mut field = Field::new();
+        field.insert(dev(0), Mobility::linear(Position::ORIGIN, (1.0, 0.0)));
+        field.insert(dev(1), Mobility::stationary(Position::new(50.0, 0.0)));
+        let mut rng = SimRng::seed_from(1);
+        field.advance_to(SimTime::from_secs(30), &mut rng);
+        assert_eq!(field.position(dev(0)), Some(Position::new(30.0, 0.0)));
+        assert_eq!(field.distance(dev(0), dev(1)), Some(20.0));
+        assert_eq!(field.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut field = static_field(&[(0, 0.0, 0.0), (1, 1.0, 1.0)]);
+        assert_eq!(field.len(), 2);
+        assert!(field.remove(dev(0)).is_some());
+        assert!(field.remove(dev(0)).is_none());
+        assert_eq!(field.len(), 1);
+        assert!(!field.is_empty());
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let field = static_field(&[(2, 0.0, 0.0), (0, 1.0, 0.0), (1, 2.0, 0.0)]);
+        let ids: Vec<_> = field.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for mobility invariants.
+
+use hbr_mobility::{Field, Mobility, PathLoss, Position};
+use hbr_mobility::model::Bounds;
+use hbr_sim::{DeviceId, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random-waypoint devices never leave their bounds, whatever the
+    /// sequence of advance instants.
+    #[test]
+    fn waypoint_confined(
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(1u64..600, 1..60),
+    ) {
+        let bounds = Bounds::square(80.0);
+        let mut m = Mobility::random_waypoint(
+            Position::new(40.0, 40.0), bounds, 0.5, 1.5, 10.0,
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut t = SimTime::ZERO;
+        for s in steps {
+            t += hbr_sim::SimDuration::from_secs(s);
+            m.advance_to(t, &mut rng);
+            prop_assert!(bounds.contains(m.position()));
+        }
+    }
+
+    /// Total displacement never exceeds max speed × elapsed time.
+    #[test]
+    fn speed_limit_respected(seed in any::<u64>(), secs in 1u64..2000) {
+        let start = Position::new(50.0, 50.0);
+        let max_speed = 1.5;
+        let mut m = Mobility::random_waypoint(
+            start, Bounds::square(100.0), 0.5, max_speed, 0.0,
+        );
+        let mut rng = SimRng::seed_from(seed);
+        m.advance_to(SimTime::from_secs(secs), &mut rng);
+        let travelled = m.position().distance_to(start);
+        prop_assert!(travelled <= max_speed * secs as f64 + 1e-6);
+    }
+
+    /// Distance estimation from a clean RSSI is exact for any geometry.
+    #[test]
+    fn rssi_inversion_exact(d in 1.0f64..400.0) {
+        let ch = PathLoss::indoor_wifi();
+        let est = ch.estimate_distance(ch.rssi_at(d));
+        prop_assert!((est - d).abs() / d < 1e-9);
+    }
+
+    /// Neighbour lists are sorted by distance and contain only in-range ids.
+    #[test]
+    fn neighbours_sorted(points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..30)) {
+        let field: Field = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (DeviceId::new(i as u32), Mobility::stationary(Position::new(x, y))))
+            .collect();
+        let centre = DeviceId::new(0);
+        let radius = 40.0;
+        let ns = field.neighbours_within(centre, radius);
+        let mut last = 0.0;
+        for (id, d) in &ns {
+            prop_assert!(*id != centre);
+            prop_assert!(*d <= radius);
+            prop_assert!(*d >= last);
+            last = *d;
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Small summary-statistics helpers used by the experiment reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Online summary of a stream of `f64` samples: count, sum, min, max, mean.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), Some(2.0));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN sample would silently poison every
+    /// derived statistic.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "Summary::record called with NaN");
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or [`None`] before any sample arrives.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or [`None`] before any sample arrives.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or [`None`] before any sample arrives.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3}",
+                self.count, mean, self.min, self.max
+            ),
+            None => write!(f, "n=0 (empty)"),
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A named monotonically increasing counter, used for tallies such as
+/// "layer-3 messages" or "expired heartbeats".
+///
+/// # Examples
+///
+/// ```
+/// use hbr_sim::Counter;
+///
+/// let mut rrc = Counter::default();
+/// rrc.add(3);
+/// rrc.incr();
+/// assert_eq!(rrc.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_has_no_stats() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(format!("{s}"), "n=0 (empty)");
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s: Summary = [4.0, -2.0, 10.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 12.0);
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(10.0));
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(2.0));
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(format!("{c}"), "10");
+    }
+}

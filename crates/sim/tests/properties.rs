@@ -1,0 +1,117 @@
+//! Property-based tests for the event engine and clock types.
+
+use hbr_sim::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order.
+    #[test]
+    fn pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(ev) = sim.pop() {
+            prop_assert!(ev.time >= last);
+            last = ev.time;
+        }
+    }
+
+    /// Events at equal instants pop in scheduling (FIFO) order.
+    #[test]
+    fn ties_break_fifo(groups in proptest::collection::vec((0u64..100, 1usize..6), 1..50)) {
+        let mut sim = Simulation::new();
+        let mut idx = 0usize;
+        for &(t, n) in &groups {
+            for _ in 0..n {
+                sim.schedule_at(SimTime::from_micros(t), idx);
+                idx += 1;
+            }
+        }
+        let mut by_time: std::collections::BTreeMap<SimTime, Vec<usize>> = Default::default();
+        while let Some(ev) = sim.pop() {
+            by_time.entry(ev.time).or_default().push(ev.event);
+        }
+        for (_, order) in by_time {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(order, sorted);
+        }
+    }
+
+    /// Cancelling a random subset of events removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        kill_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sim = Simulation::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, sim.schedule_at(SimTime::from_micros(t), i)))
+            .collect();
+        let mut killed = std::collections::HashSet::new();
+        for (i, id) in &ids {
+            if *kill_mask.get(*i % kill_mask.len()).unwrap_or(&false) {
+                prop_assert!(sim.cancel(*id));
+                killed.insert(*i);
+            }
+        }
+        let mut fired = std::collections::HashSet::new();
+        while let Some(ev) = sim.pop() {
+            fired.insert(ev.event);
+        }
+        prop_assert_eq!(fired.len() + killed.len(), times.len());
+        prop_assert!(fired.is_disjoint(&killed));
+    }
+
+    /// pending() always equals scheduled − fired − cancelled.
+    #[test]
+    fn pending_is_consistent(ops in proptest::collection::vec(0u8..3, 1..300)) {
+        let mut sim = Simulation::new();
+        let mut ids = Vec::new();
+        let mut live = 0i64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    ids.push(sim.schedule_after(SimDuration::from_micros(i as u64 + 1), i));
+                    live += 1;
+                }
+                1 => {
+                    if let Some(id) = ids.pop() {
+                        if sim.cancel(id) {
+                            live -= 1;
+                        }
+                    }
+                }
+                _ => {
+                    if sim.pop().is_some() {
+                        live -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(sim.pending() as i64, live);
+        }
+    }
+
+    /// Duration arithmetic round-trips through seconds within one microsecond.
+    #[test]
+    fn duration_f64_round_trip(micros in 0u64..=10_000_000_000) {
+        let d = SimDuration::from_micros(micros);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = back.as_micros().abs_diff(d.as_micros());
+        prop_assert!(diff <= 1, "round trip drifted by {diff}µs");
+    }
+
+    /// time + (b − a) == time − a + b for any a ≤ b (associativity on the grid).
+    #[test]
+    fn time_arithmetic_consistent(base in 0u64..1_000_000, a in 0u64..1000, extra in 0u64..1000) {
+        let t = SimTime::from_micros(base + a);
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(a + extra);
+        prop_assert_eq!(t - da + db, t + (db - da));
+    }
+}

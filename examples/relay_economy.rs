@@ -1,0 +1,94 @@
+//! Relay economy: is volunteering as a relay worth it?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example relay_economy
+//! ```
+//!
+//! §III-A argues relays accept extra battery drain in exchange for
+//! operator credits (the Karma Go model). This example quantifies the
+//! exchange rate: for growing numbers of served UEs, how much extra
+//! energy does the relay burn, how much does the whole neighbourhood
+//! save, and how many credits does the relay earn? It also exercises the
+//! group-owner-intent decay and the feedback fallback under a relay
+//! whose battery actually runs out.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::core::experiment::{ControlledExperiment, ExperimentConfig};
+use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
+use d2d_heartbeat::d2d::GoIntent;
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::SimDuration;
+
+fn main() {
+    println!("Relay economy — what does serving UEs cost and earn?\n");
+
+    println!("served UEs | relay extra µAh | UEs saved µAh | credits | exchange rate");
+    println!("-----------+-----------------+---------------+---------+--------------");
+    for ues in [1usize, 2, 4, 7] {
+        let run = ControlledExperiment::new(ExperimentConfig {
+            ue_count: ues,
+            transmissions: 7,
+            ..ExperimentConfig::default()
+        })
+        .run();
+        let credits = run.forwarded;
+        let wasted = run.relay_wasted_energy();
+        let saved = run.ue_saved_energy();
+        println!(
+            "{:>10} | {:>15.0} | {:>13.0} | {:>7} | {:>7.0} µAh saved/credit",
+            ues,
+            wasted,
+            saved,
+            credits,
+            saved / credits as f64
+        );
+    }
+
+    println!("\ngroup-owner intent decay as the relay fills (M = 7):");
+    for k in 0..=7usize {
+        let intent = GoIntent::for_relay_fill(k, 7);
+        println!(
+            "  {k}/7 collected → goIntent {:>2}  {}",
+            intent.value(),
+            "#".repeat(intent.value() as usize)
+        );
+    }
+
+    // A relay that dies on the job: the framework must degrade gracefully.
+    println!("\nfailure drill: relay battery dies mid-shift (2.0 mAh pack):");
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 42);
+    config.mode = Mode::D2dFramework;
+    config.add_device(DeviceSpec {
+        role: Role::Relay,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::stationary(Position::new(0.0, 0.0)),
+        battery_mah: Some(2.0),
+    });
+    for x in [1.0, 2.0] {
+        config.add_device(DeviceSpec {
+            role: Role::Ue,
+            apps: vec![AppProfile::wechat()],
+            mobility: Mobility::stationary(Position::new(x, 0.0)),
+            battery_mah: None,
+        });
+    }
+    let report = Scenario::new(config).run();
+    let relay = &report.devices[0];
+    println!(
+        "  relay depleted: {} (collected {} heartbeats before dying)",
+        relay.battery_depleted, relay.forwards
+    );
+    for ue in &report.devices[1..] {
+        println!(
+            "  {}: {} forwards, {} cellular fallbacks, offline {:.0}s",
+            ue.device, ue.forwards, ue.fallbacks, ue.offline_secs
+        );
+    }
+    println!(
+        "  heartbeats delivered {} / duplicates {} / expired {}",
+        report.delivered, report.duplicates, report.rejected_expired
+    );
+    println!("\nTakeaway: UEs ride the feedback timeout back to cellular; presence holds.");
+}

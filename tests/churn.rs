@@ -1,0 +1,95 @@
+//! Churn scenarios: attachments form, break and re-form under mobility,
+//! and presence survives throughout.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::core::fleet::FleetBuilder;
+use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::SimDuration;
+
+#[test]
+fn stadium_exodus_hands_everyone_back_to_cellular() {
+    // Half-time: everyone walks out of the stand in the same direction,
+    // spreading far past D2D range. Attachments must fail over to the
+    // cellular path without a single presence lapse.
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), 31);
+    config.mode = Mode::D2dFramework;
+    config.add_device(DeviceSpec {
+        role: Role::Relay,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::stationary(Position::new(0.0, 0.0)),
+        battery_mah: None,
+    });
+    for i in 0..6 {
+        // Fans shuffle out slowly (heartbeats tick every 270 s, so the
+        // first ones still happen within the 15 m match radius), then
+        // drift past it — and past link range — during the scenario.
+        let speed = 0.03 + 0.01 * i as f64;
+        let dir = if i % 2 == 0 { 1.0 } else { -1.0 };
+        config.add_device(DeviceSpec {
+            role: Role::Ue,
+            apps: vec![AppProfile::wechat()],
+            mobility: Mobility::linear(
+                Position::new(1.0 + i as f64 * 0.4, 0.0),
+                (speed * dir, speed * 0.3),
+            ),
+            battery_mah: None,
+        });
+    }
+    let report = Scenario::new(config).run();
+
+    assert_eq!(report.rejected_expired, 0);
+    for ue in &report.devices[1..] {
+        assert_eq!(ue.offline_secs, 0.0, "{} lapsed mid-exodus", ue.device);
+        assert!(
+            ue.rrc_connections > 0,
+            "{} never reached the cellular path after leaving range",
+            ue.device
+        );
+    }
+    // Early heartbeats should still have used the relay.
+    let total_forwards: u64 = report.devices[1..].iter().map(|d| d.forwards).sum();
+    assert!(total_forwards > 0, "nobody ever used the relay");
+}
+
+#[test]
+fn wandering_crowd_keeps_presence_through_rematching() {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 13);
+    config.mode = Mode::D2dFramework;
+    for spec in FleetBuilder::new(16, 4)
+        .area_side_m(25.0)
+        .walker_share(0.5) // heavy churn: half the crowd wanders
+        .build(13)
+    {
+        config.add_device(spec);
+    }
+    let report = Scenario::new(config).run();
+    assert_eq!(report.rejected_expired, 0);
+    assert_eq!(report.duplicates, 0);
+    for dev in &report.devices {
+        assert_eq!(dev.offline_secs, 0.0, "{} lapsed", dev.device);
+    }
+}
+
+#[test]
+fn relay_stats_reflect_aggregation() {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(4 * 3600), 3);
+    config.mode = Mode::D2dFramework;
+    for spec in FleetBuilder::new(8, 1).area_side_m(10.0).walker_share(0.0).build(3) {
+        config.add_device(spec);
+    }
+    let report = Scenario::new(config).run();
+    let relay = &report.devices[0];
+    assert_eq!(relay.role, Role::Relay);
+    let batch = relay.mean_batch_size.expect("relay flushed at least once");
+    assert!(batch > 1.0, "aggregation means >1 heartbeat per flush, got {batch}");
+    let delay = relay
+        .mean_queueing_delay_secs
+        .expect("relay queued heartbeats");
+    assert!(
+        delay > 10.0 && delay < 270.0,
+        "queueing delay {delay}s must sit inside the period"
+    );
+    // UEs report no scheduler stats.
+    assert!(report.devices[1].mean_batch_size.is_none());
+}

@@ -1,0 +1,181 @@
+//! Cross-crate end-to-end scenarios through the event-driven world.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::core::world::{
+    DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport,
+};
+use d2d_heartbeat::mobility::model::Bounds;
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::{SimDuration, SimRng};
+
+fn static_device(role: Role, x: f64, apps: Vec<AppProfile>) -> DeviceSpec {
+    DeviceSpec {
+        role,
+        apps,
+        mobility: Mobility::stationary(Position::new(x, 0.0)),
+        battery_mah: None,
+    }
+}
+
+fn small_world(mode: Mode, seed: u64, hours: u64) -> ScenarioReport {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(hours * 3600), seed);
+    config.mode = mode;
+    config.add_device(static_device(Role::Relay, 0.0, vec![AppProfile::wechat()]));
+    config.add_device(static_device(Role::Ue, 1.0, vec![AppProfile::wechat()]));
+    config.add_device(static_device(Role::Ue, 3.0, vec![AppProfile::whatsapp()]));
+    config.add_device(static_device(
+        Role::Ue,
+        5.0,
+        vec![AppProfile::wechat(), AppProfile::qq()],
+    ));
+    Scenario::new(config).run()
+}
+
+#[test]
+fn every_heartbeat_is_delivered_exactly_once() {
+    let report = small_world(Mode::D2dFramework, 1, 6);
+    assert!(report.delivered > 0);
+    assert_eq!(report.duplicates, 0, "exactly-once delivery");
+    assert_eq!(report.rejected_expired, 0, "nothing arrives late");
+    assert_eq!(report.offline_secs, 0.0, "presence never lapses");
+}
+
+#[test]
+fn framework_dominates_baseline_across_seeds() {
+    for seed in [1u64, 17, 4242] {
+        let fw = small_world(Mode::D2dFramework, seed, 4);
+        let base = small_world(Mode::OriginalCellular, seed, 4);
+        assert!(
+            fw.total_l3 < base.total_l3,
+            "seed {seed}: {} vs {}",
+            fw.total_l3,
+            base.total_l3
+        );
+        assert!(
+            fw.total_energy_uah < base.total_energy_uah,
+            "seed {seed}: energy {} vs {}",
+            fw.total_energy_uah,
+            base.total_energy_uah
+        );
+        assert_eq!(base.offline_secs, 0.0);
+        assert_eq!(fw.offline_secs, 0.0);
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_reports() {
+    let a = small_world(Mode::D2dFramework, 99, 4);
+    let b = small_world(Mode::D2dFramework, 99, 4);
+    assert_eq!(a.total_l3, b.total_l3);
+    assert_eq!(a.total_rrc, b.total_rrc);
+    assert_eq!(a.delivered, b.delivered);
+    assert!((a.total_energy_uah - b.total_energy_uah).abs() < 1e-9);
+    for (da, db) in a.devices.iter().zip(&b.devices) {
+        assert_eq!(da.forwards, db.forwards);
+        assert_eq!(da.fallbacks, db.fallbacks);
+        assert!((da.energy_uah - db.energy_uah).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let a = small_world(Mode::D2dFramework, 1, 4);
+    let b = small_world(Mode::D2dFramework, 2, 4);
+    // Heartbeat jitter differs → at least the energy fingerprint differs.
+    assert!(
+        (a.total_energy_uah - b.total_energy_uah).abs() > 1e-6,
+        "two seeds produced byte-identical worlds"
+    );
+}
+
+#[test]
+fn multi_app_devices_keep_every_session_alive() {
+    let report = small_world(Mode::D2dFramework, 5, 8);
+    for dev in &report.devices {
+        assert_eq!(
+            dev.offline_secs, 0.0,
+            "{} lapsed ({:?})",
+            dev.device, dev.role
+        );
+    }
+    // The two-app UE must deliver more heartbeats than the single-app UEs.
+    let two_app = &report.devices[3];
+    let one_app = &report.devices[1];
+    assert!(two_app.forwards + two_app.fallbacks >= one_app.forwards);
+}
+
+#[test]
+fn walking_ue_falls_back_when_out_of_range_and_recovers() {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(4 * 3600), 3);
+    config.mode = Mode::D2dFramework;
+    config.add_device(static_device(Role::Relay, 0.0, vec![AppProfile::wechat()]));
+    // Walks away at 0.25 m/s: leaves the 15 m match radius after ~1 min,
+    // the 180 m Wi-Fi Direct range after ~12 min.
+    config.add_device(DeviceSpec {
+        role: Role::Ue,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::linear(Position::new(1.0, 0.0), (0.25, 0.0)),
+        battery_mah: None,
+    });
+    let report = Scenario::new(config).run();
+    let ue = &report.devices[1];
+    assert!(ue.rrc_connections > 0, "must fall back to cellular");
+    assert_eq!(ue.offline_secs, 0.0, "mobility must not break presence");
+    assert_eq!(report.rejected_expired, 0);
+}
+
+#[test]
+fn crowd_scenario_scales_and_wins() {
+    let rng = SimRng::seed_from(2017);
+    let bounds = Bounds::square(30.0);
+    let build = |mode: Mode| {
+        let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), 2017);
+        config.mode = mode;
+        let mut rng2 = rng.clone();
+        for i in 0..20 {
+            let x = rng2.range(1.0..29.0);
+            let y = rng2.range(1.0..29.0);
+            config.add_device(DeviceSpec {
+                role: if i < 4 { Role::Relay } else { Role::Ue },
+                apps: vec![AppProfile::wechat()],
+                mobility: Mobility::stationary(Position::new(x, y)),
+                battery_mah: None,
+            });
+        }
+        Scenario::new(config).run()
+    };
+    let fw = build(Mode::D2dFramework);
+    let base = build(Mode::OriginalCellular);
+    assert!(fw.total_l3 * 2 <= base.total_l3 + base.total_l3 / 5, "crowd signaling reduction");
+    assert_eq!(fw.offline_secs, 0.0);
+    let _ = bounds;
+}
+
+#[test]
+fn relays_earn_rewards_proportional_to_work() {
+    let report = small_world(Mode::D2dFramework, 8, 6);
+    let relay = &report.devices[0];
+    assert_eq!(relay.role, Role::Relay);
+    assert!(relay.rewards > 0);
+    assert!(relay.rewards <= relay.forwards);
+    // UEs never earn anything.
+    for ue in &report.devices[1..] {
+        assert_eq!(ue.rewards, 0);
+    }
+}
+
+#[test]
+fn baseline_devices_never_touch_d2d_radios() {
+    let report = small_world(Mode::OriginalCellular, 12, 4);
+    use d2d_heartbeat::energy::PhaseGroup;
+    for dev in &report.devices {
+        for (group, energy) in &dev.energy_by_group {
+            if matches!(
+                group,
+                PhaseGroup::Discovery | PhaseGroup::Connection | PhaseGroup::Forwarding
+            ) {
+                panic!("baseline {} drew {energy} µAh in {group}", dev.device);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure-injection suite: the framework must degrade to the cellular
+//! path without ever losing a session, whatever dies.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::SimDuration;
+
+fn base_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), seed);
+    config.mode = Mode::D2dFramework;
+    config
+}
+
+fn device(role: Role, x: f64, battery_mah: Option<f64>) -> DeviceSpec {
+    DeviceSpec {
+        role,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::stationary(Position::new(x, 0.0)),
+        battery_mah,
+    }
+}
+
+#[test]
+fn relay_battery_death_is_survivable() {
+    let mut config = base_config(42);
+    config.add_device(device(Role::Relay, 0.0, Some(2.0)));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.add_device(device(Role::Ue, 2.0, None));
+    let report = Scenario::new(config).run();
+
+    assert!(report.devices[0].battery_depleted, "the relay must die");
+    for ue in &report.devices[1..] {
+        assert_eq!(ue.offline_secs, 0.0, "{} went offline", ue.device);
+        assert!(
+            ue.rrc_connections > 0,
+            "{} never reached the fallback path",
+            ue.device
+        );
+    }
+    assert_eq!(report.duplicates, 0);
+}
+
+#[test]
+fn all_relays_dead_becomes_the_original_system() {
+    let mut config = base_config(7);
+    // A relay with a microscopic battery: dead after the first listen.
+    config.add_device(device(Role::Relay, 0.0, Some(0.2)));
+    config.add_device(device(Role::Ue, 1.0, None));
+    let report = Scenario::new(config).run();
+    let ue = &report.devices[1];
+    assert_eq!(ue.offline_secs, 0.0);
+    // Essentially every heartbeat travelled over the UE's own radio.
+    assert!(
+        ue.rrc_connections as f64 >= 0.8 * (ue.forwards + ue.fallbacks).max(1) as f64,
+        "rrc {} vs forwards {} fallbacks {}",
+        ue.rrc_connections,
+        ue.forwards,
+        ue.fallbacks
+    );
+}
+
+#[test]
+fn ue_walking_out_of_range_mid_session_recovers() {
+    let mut config = base_config(3);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(DeviceSpec {
+        role: Role::Ue,
+        apps: vec![AppProfile::wechat()],
+        // Sprints away: out of Wi-Fi Direct range within two periods.
+        mobility: Mobility::linear(Position::new(1.0, 0.0), (1.0, 0.0)),
+        battery_mah: None,
+    });
+    let report = Scenario::new(config).run();
+    let ue = &report.devices[1];
+    assert_eq!(ue.offline_secs, 0.0);
+    assert_eq!(report.rejected_expired, 0);
+    assert!(ue.rrc_connections > 0, "cellular fallback engaged");
+}
+
+#[test]
+fn overloaded_relay_rejections_are_rescued() {
+    let mut config = base_config(11);
+    config.framework.relay_capacity = 2; // tiny M with five UEs
+    config.add_device(device(Role::Relay, 0.0, None));
+    for x in 1..=5 {
+        config.add_device(device(Role::Ue, x as f64, None));
+    }
+    let report = Scenario::new(config).run();
+    let total_fallbacks: u64 = report.devices[1..].iter().map(|d| d.fallbacks).sum();
+    assert!(total_fallbacks > 0, "capacity pressure must reject someone");
+    assert_eq!(report.offline_secs, 0.0);
+    assert_eq!(report.rejected_expired, 0);
+    // The relay never buffers beyond M per period: collected ≤ 2 per
+    // flush means its rewards track its (bounded) collections.
+    assert!(report.devices[0].forwards > 0);
+}
+
+#[test]
+fn lossy_link_at_range_edge_still_converges() {
+    let mut config = base_config(5);
+    // 160 m: inside Wi-Fi Direct range (180 m) but with elevated loss.
+    // Raise the match threshold so the detector accepts the distance.
+    config.framework.max_match_distance_m = 200.0;
+    config.framework.energy_prejudgment = false;
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 160.0, None));
+    let report = Scenario::new(config).run();
+    let ue = &report.devices[1];
+    assert_eq!(ue.offline_secs, 0.0, "losses must never break presence");
+    assert_eq!(report.rejected_expired, 0);
+    assert!(
+        ue.fallbacks > 0 || ue.forwards > 0,
+        "the UE must have tried something"
+    );
+}
+
+#[test]
+fn dead_ue_simply_goes_silent() {
+    let mut config = base_config(13);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, Some(0.5)));
+    config.add_device(device(Role::Ue, 2.0, None));
+    let report = Scenario::new(config).run();
+    let dead_ue = &report.devices[1];
+    assert!(dead_ue.battery_depleted);
+    assert!(dead_ue.offline_secs > 0.0, "a dead phone is offline");
+    // The healthy UE is unaffected.
+    assert_eq!(report.devices[2].offline_secs, 0.0);
+    assert_eq!(report.duplicates, 0);
+}

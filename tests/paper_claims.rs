@@ -1,0 +1,183 @@
+//! The paper's quantitative claims, asserted end-to-end against the
+//! calibrated models. These are the acceptance tests of the
+//! reproduction: if one of them fails, a table or figure no longer
+//! regenerates.
+
+use d2d_heartbeat::core::experiment::{ControlledExperiment, ExperimentConfig};
+use d2d_heartbeat::energy::PhaseGroup;
+
+fn run(ue_count: usize, transmissions: u32) -> d2d_heartbeat::core::experiment::ExperimentRun {
+    ControlledExperiment::new(ExperimentConfig {
+        ue_count,
+        transmissions,
+        distance_m: 1.0,
+        ..ExperimentConfig::default()
+    })
+    .run()
+}
+
+#[test]
+fn abstract_claim_more_than_50_percent_signaling_reduction() {
+    // "our solution achieves more than 50% signaling traffic reduction"
+    for (ues, n) in [(1usize, 10u32), (2, 10), (7, 10)] {
+        let r = run(ues, n);
+        assert!(
+            r.signaling_saving() >= 0.499,
+            "{ues} UEs, {n} transmissions: saving {:.3}",
+            r.signaling_saving()
+        );
+    }
+}
+
+#[test]
+fn conclusion_claim_worst_case_one_ue_still_halves_signaling() {
+    // "in the worst situation where there is only one UE connected to the
+    // relay, our framework can still reduce about 50% cellular signaling"
+    let r = run(1, 1);
+    assert!((r.signaling_saving() - 0.5).abs() < 0.05, "{}", r.signaling_saving());
+}
+
+#[test]
+fn fig9_claim_ue_saves_about_55_percent_at_first_forward() {
+    let r = run(1, 1);
+    let saving = r.ue_saving();
+    assert!(
+        (0.45..0.65).contains(&saving),
+        "UE saving at first forward = {saving:.3}, paper says ≈0.55"
+    );
+}
+
+#[test]
+fn fig9_claim_system_breaks_even_at_first_forward() {
+    let r = run(1, 1);
+    assert!(
+        r.system_saving().abs() < 0.08,
+        "system saving at one forward = {:.3}, paper says ≈0",
+        r.system_saving()
+    );
+}
+
+#[test]
+fn fig9_claim_system_saving_grows_toward_paper_36_percent() {
+    // Our calibration honours Table III/IV exactly, which caps the
+    // system saving at ≈28% (see EXPERIMENTS.md for the algebra); the
+    // shape — monotone growth approaching a plateau — is the claim here.
+    let savings: Vec<f64> = (1..=7).map(|n| run(1, n).system_saving()).collect();
+    for w in savings.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "saving must grow: {savings:?}");
+    }
+    assert!(
+        savings[6] > 0.20,
+        "saving at 7 forwards = {:.3}, paper reports 0.36",
+        savings[6]
+    );
+}
+
+#[test]
+fn table3_phase_energies_reproduce() {
+    let r = run(1, 1);
+    let cases = [
+        (PhaseGroup::Discovery, 132.24, true),
+        (PhaseGroup::Connection, 63.74, true),
+        (PhaseGroup::Forwarding, 73.09, true),
+        (PhaseGroup::Discovery, 122.50, false),
+        (PhaseGroup::Connection, 60.29, false),
+    ];
+    for (group, paper, is_ue) in cases {
+        let ours = if is_ue {
+            r.ue_phase(group).as_micro_amp_hours()
+        } else {
+            r.relay_phase(group).as_micro_amp_hours()
+        };
+        assert!(
+            (ours - paper).abs() / paper < 0.05,
+            "{group:?} (ue={is_ue}): ours {ours:.2} vs paper {paper:.2}"
+        );
+    }
+}
+
+#[test]
+fn table4_receive_energy_is_linear_with_matching_slope() {
+    use d2d_heartbeat::d2d::TechProfile;
+    use d2d_heartbeat::sim::SimTime;
+    let per_msg = TechProfile::wifi_direct()
+        .receive(SimTime::ZERO, 54, 1.0)
+        .charge()
+        .as_micro_amp_hours();
+    let paper_slope = 911.196 / 7.0;
+    assert!(
+        (per_msg - paper_slope).abs() / paper_slope < 0.02,
+        "receive slope {per_msg:.2} vs paper {paper_slope:.2}"
+    );
+}
+
+#[test]
+fn fig11_wasted_to_saved_ratio_falls_from_near_100_percent() {
+    let start = run(1, 1).wasted_to_saved_ratio();
+    let end = run(7, 8).wasted_to_saved_ratio();
+    assert!((0.8..1.2).contains(&start), "start ratio {start:.2}");
+    assert!(end < start / 3.0, "end ratio {end:.2} vs start {start:.2}");
+}
+
+#[test]
+fn fig12_distance_monotonicity_and_15m_win() {
+    let near = ControlledExperiment::new(ExperimentConfig {
+        distance_m: 1.0,
+        transmissions: 8,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    let far = ControlledExperiment::new(ExperimentConfig {
+        distance_m: 15.0,
+        transmissions: 8,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    assert!(far.ue_energy() > near.ue_energy());
+    assert!(
+        far.ue_energy() < far.original_device_energy(),
+        "paper measured D2D still winning at 15 m"
+    );
+}
+
+#[test]
+fn fig13_size_insensitivity() {
+    let small = ControlledExperiment::new(ExperimentConfig {
+        message_size: 54,
+        transmissions: 4,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    let large = ControlledExperiment::new(ExperimentConfig {
+        message_size: 270,
+        transmissions: 4,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    let spread = (large.ue_energy() - small.ue_energy()) / small.ue_energy();
+    assert!(
+        (0.0..0.12).contains(&spread),
+        "1×→5× payload changed UE energy by {:.1}%",
+        spread * 100.0
+    );
+}
+
+#[test]
+fn fig15_relay_signaling_tracks_one_original_device() {
+    let r = run(1, 10);
+    let relay = r.framework_l3() as f64;
+    let one_device = r.original_l3() as f64 / 2.0;
+    assert!(
+        (relay / one_device - 1.0).abs() < 0.15,
+        "relay {relay} vs one device {one_device}"
+    );
+}
+
+#[test]
+fn fig15_saving_improves_with_connected_ues() {
+    let s1 = run(1, 10).signaling_saving();
+    let s2 = run(2, 10).signaling_saving();
+    let s7 = run(7, 10).signaling_saving();
+    assert!(s1 < s2 && s2 < s7, "{s1:.3} {s2:.3} {s7:.3}");
+    assert!(s7 > 0.8, "7 UEs should save >80%: {s7:.3}");
+}

@@ -1,0 +1,153 @@
+//! Property tests over randomly generated scenario worlds: whatever the
+//! topology, apps, batteries and seed, the framework's safety invariants
+//! hold.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::core::world::{
+    DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport,
+};
+use d2d_heartbeat::energy::PhaseGroup;
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomWorld {
+    seed: u64,
+    relays: usize,
+    ues: usize,
+    positions: Vec<(f64, f64)>,
+    app_picks: Vec<u8>,
+    dead_relay: bool,
+}
+
+fn arb_world() -> impl Strategy<Value = RandomWorld> {
+    (
+        any::<u64>(),
+        1usize..3,
+        1usize..5,
+        proptest::collection::vec((0.0f64..25.0, 0.0f64..25.0), 8),
+        proptest::collection::vec(0u8..3, 8),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, relays, ues, positions, app_picks, dead_relay)| RandomWorld {
+                seed,
+                relays,
+                ues,
+                positions,
+                app_picks,
+                dead_relay,
+            },
+        )
+}
+
+fn build(world: &RandomWorld, mode: Mode) -> ScenarioReport {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), world.seed);
+    config.mode = mode;
+    let apps = [
+        AppProfile::wechat(),
+        AppProfile::whatsapp(),
+        AppProfile::qq(),
+    ];
+    for i in 0..(world.relays + world.ues) {
+        let (x, y) = world.positions[i % world.positions.len()];
+        let role = if i < world.relays { Role::Relay } else { Role::Ue };
+        let app = apps[world.app_picks[i % world.app_picks.len()] as usize].clone();
+        let battery = if world.dead_relay && i == 0 {
+            Some(2.0)
+        } else {
+            None
+        };
+        config.add_device(DeviceSpec {
+            role,
+            apps: vec![app],
+            mobility: Mobility::stationary(Position::new(x, y)),
+            battery_mah: battery,
+        });
+    }
+    Scenario::new(config).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Presence of battery-healthy devices never lapses, nothing expires,
+    /// and nothing is delivered twice — under any topology.
+    #[test]
+    fn framework_safety_invariants(world in arb_world()) {
+        let report = build(&world, Mode::D2dFramework);
+        prop_assert_eq!(report.rejected_expired, 0);
+        prop_assert_eq!(report.duplicates, 0);
+        for dev in &report.devices {
+            if !dev.battery_depleted {
+                prop_assert!(
+                    dev.offline_secs == 0.0,
+                    "{} offline {}s", dev.device, dev.offline_secs
+                );
+            }
+        }
+    }
+
+    /// The framework never emits more layer-3 traffic than the original
+    /// system on the same workload.
+    #[test]
+    fn framework_never_worse_on_signaling(world in arb_world()) {
+        let fw = build(&world, Mode::D2dFramework);
+        let base = build(&world, Mode::OriginalCellular);
+        prop_assert!(
+            fw.total_l3 <= base.total_l3,
+            "{} vs {}", fw.total_l3, base.total_l3
+        );
+        prop_assert!(fw.total_rrc <= base.total_rrc);
+    }
+
+    /// Determinism: the same random world runs to identical reports.
+    #[test]
+    fn worlds_are_deterministic(world in arb_world()) {
+        let a = build(&world, Mode::D2dFramework);
+        let b = build(&world, Mode::D2dFramework);
+        prop_assert_eq!(a.total_l3, b.total_l3);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert!((a.total_energy_uah - b.total_energy_uah).abs() < 1e-9);
+    }
+
+    /// Conservation: every UE heartbeat is accounted for — forwarded and
+    /// confirmed, rescued by fallback, or still in flight at the horizon.
+    #[test]
+    fn heartbeats_are_conserved(world in arb_world()) {
+        let report = build(&world, Mode::D2dFramework);
+        // Delivered = all device heartbeats minus in-flight remainder;
+        // it can never exceed what was generated.
+        let generated_upper: u64 = report
+            .devices
+            .iter()
+            .map(|_| (2 * 3600 / 240) as u64 + 2) // fastest app period 240 s
+            .sum();
+        prop_assert!(report.delivered <= generated_upper);
+        prop_assert!(report.delivered > 0);
+        // Rewards = forwards that made it into a flush; never exceeds
+        // collected totals.
+        for dev in &report.devices {
+            if dev.role == Role::Relay {
+                prop_assert!(dev.rewards <= dev.forwards);
+            }
+        }
+    }
+
+    /// Baseline worlds never report any D2D energy.
+    #[test]
+    fn baseline_is_pure_cellular(world in arb_world()) {
+        let report = build(&world, Mode::OriginalCellular);
+        for dev in &report.devices {
+            for (group, energy) in &dev.energy_by_group {
+                prop_assert!(
+                    !matches!(
+                        group,
+                        PhaseGroup::Discovery | PhaseGroup::Connection | PhaseGroup::Forwarding
+                    ) || *energy == 0.0
+                );
+            }
+        }
+    }
+}
