@@ -245,7 +245,10 @@ mod tests {
             let hb = s.next_heartbeat(&mut ids, &mut r);
             assert_eq!(hb.created_at, SimTime::from_secs(270 * k));
             assert_eq!(hb.seq as u64, k - 1);
-            assert_eq!(hb.expires_at, hb.created_at + AppProfile::wechat().expiration);
+            assert_eq!(
+                hb.expires_at,
+                hb.created_at + AppProfile::wechat().expiration
+            );
         }
     }
 

@@ -122,7 +122,10 @@ mod tests {
     fn freshness_and_slack() {
         let h = hb(0, 100);
         assert!(h.is_fresh(SimTime::from_secs(99)));
-        assert!(!h.is_fresh(SimTime::from_secs(100)), "deadline is exclusive");
+        assert!(
+            !h.is_fresh(SimTime::from_secs(100)),
+            "deadline is exclusive"
+        );
         assert_eq!(h.slack(SimTime::from_secs(40)), SimDuration::from_secs(60));
         assert_eq!(h.slack(SimTime::from_secs(200)), SimDuration::ZERO);
     }

@@ -244,13 +244,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "share")]
     fn share_of_one_rejected() {
-        AppProfile::custom(
-            AppId::new(99),
-            "Bad",
-            SimDuration::from_secs(10),
-            10,
-            1.0,
-        );
+        AppProfile::custom(AppId::new(99), "Bad", SimDuration::from_secs(10), 10, 1.0);
     }
 
     #[test]

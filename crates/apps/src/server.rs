@@ -234,8 +234,7 @@ mod tests {
         // Next refresh only at t=250: offline in [100, 250).
         let h = hb(&mut ids, 250, 1000);
         server.deliver(&h, SimTime::from_secs(250)); // covered [250,350)
-        let offline =
-            server.offline_time(device, app, SimTime::ZERO, SimTime::from_secs(400));
+        let offline = server.offline_time(device, app, SimTime::ZERO, SimTime::from_secs(400));
         // Holes: [100,250) = 150 and [350,400) = 50.
         assert_eq!(offline, SimDuration::from_secs(200));
     }

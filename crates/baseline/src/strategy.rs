@@ -132,11 +132,8 @@ fn execute(
     }
     l3 += tail.messages.len() as u64;
 
-    let (max_gap, offline) = presence_stats(
-        refresh_times,
-        workload.app.expiration,
-        workload.duration,
-    );
+    let (max_gap, offline) =
+        presence_stats(refresh_times, workload.app.expiration, workload.duration);
 
     StrategyOutcome {
         name: name.to_owned(),
@@ -198,10 +195,7 @@ impl Strategy for Original {
                     });
                     refreshes.push(hb.created_at);
                 }
-                TrafficEvent::Data { at, size } => planned.push(PlannedTx {
-                    at,
-                    bytes: size,
-                }),
+                TrafficEvent::Data { at, size } => planned.push(PlannedTx { at, bytes: size }),
             }
         }
         execute(
@@ -247,10 +241,7 @@ impl Strategy for ExtendedPeriod {
                     }
                     hb_index += 1;
                 }
-                TrafficEvent::Data { at, size } => planned.push(PlannedTx {
-                    at,
-                    bytes: size,
-                }),
+                TrafficEvent::Data { at, size } => planned.push(PlannedTx { at, bytes: size }),
             }
         }
         execute(
@@ -309,19 +300,13 @@ impl Strategy for Piggyback {
                         }
                         None => size,
                     };
-                    planned.push(PlannedTx {
-                        at,
-                        bytes,
-                    });
+                    planned.push(PlannedTx { at, bytes });
                 }
             }
         }
         if let Some((created, size)) = pending_hb {
             let at = created + self.window;
-            planned.push(PlannedTx {
-                at,
-                bytes: size,
-            });
+            planned.push(PlannedTx { at, bytes: size });
             refreshes.push(at);
         }
         execute(
@@ -367,10 +352,7 @@ impl Strategy for FastDormancy {
                     });
                     refreshes.push(hb.created_at);
                 }
-                TrafficEvent::Data { at, size } => planned.push(PlannedTx {
-                    at,
-                    bytes: size,
-                }),
+                TrafficEvent::Data { at, size } => planned.push(PlannedTx { at, bytes: size }),
             }
         }
         // +1 layer-3 message per transmission: the Signaling Connection
@@ -427,10 +409,7 @@ impl Strategy for D2dForwarding {
                     refreshes.push(hb.created_at + workload.app.heartbeat_period);
                     forwarded += 1;
                 }
-                TrafficEvent::Data { at, size } => planned.push(PlannedTx {
-                    at,
-                    bytes: size,
-                }),
+                TrafficEvent::Data { at, size } => planned.push(PlannedTx { at, bytes: size }),
             }
         }
         let mut outcome = execute(
@@ -543,11 +522,8 @@ mod tests {
     fn presence_stats_basics() {
         let exp = SimDuration::from_secs(100);
         let dur = SimDuration::from_secs(500);
-        let (max_gap, offline) = presence_stats(
-            &[SimTime::from_secs(50), SimTime::from_secs(300)],
-            exp,
-            dur,
-        );
+        let (max_gap, offline) =
+            presence_stats(&[SimTime::from_secs(50), SimTime::from_secs(300)], exp, dur);
         // Gaps: 50, 250, 200 → max 250; offline: (250−100)+(200−100) = 250.
         assert_eq!(max_gap, 250.0);
         assert_eq!(offline, 250.0);

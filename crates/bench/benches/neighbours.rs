@@ -1,0 +1,112 @@
+//! Neighbourhood-query bench: the uniform-grid index vs the linear scan.
+//!
+//! One full detection sweep (every device asking "who is within D2D
+//! range?") is the hot loop of every crowd scenario. The scan costs
+//! O(n²) per sweep; the grid costs O(n · local density). This bench
+//! measures both over the same static crowd at n ∈ {100, 1 000, 10 000}
+//! and writes the timings — plus the grid's speedup — to
+//! `BENCH_spatial.json` at the repository root, so the gain is tracked
+//! as a build artefact rather than a claim in a commit message.
+//!
+//! The crowd is uniform over a 1 000 m square with a 50 m discovery
+//! radius: each query disc covers <1% of the area, the regime the
+//! stadium scenarios of §V live in.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbr_mobility::{Field, Mobility, Position};
+use hbr_sim::{DeviceId, SimRng};
+
+const AREA_SIDE_M: f64 = 1_000.0;
+const RADIUS_M: f64 = 50.0;
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+fn crowd(n: usize) -> Field {
+    let mut rng = SimRng::seed_from(7);
+    (0..n)
+        .map(|i| {
+            let x = rng.range(0.0..AREA_SIDE_M);
+            let y = rng.range(0.0..AREA_SIDE_M);
+            (
+                DeviceId::new(i as u32),
+                Mobility::stationary(Position::new(x, y)),
+            )
+        })
+        .collect()
+}
+
+/// One full sweep: every device queries its neighbourhood.
+fn sweep(field: &Field, n: usize, grid: bool) -> usize {
+    let mut found = 0;
+    for i in 0..n {
+        let id = DeviceId::new(i as u32);
+        found += if grid {
+            field.neighbours_within(id, RADIUS_M).len()
+        } else {
+            field.neighbours_within_scan(id, RADIUS_M).len()
+        };
+    }
+    found
+}
+
+fn bench_neighbours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbours");
+    for &n in &SIZES {
+        let field = crowd(n);
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, &n| {
+            b.iter(|| black_box(sweep(&field, n, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, &n| {
+            b.iter(|| black_box(sweep(&field, n, true)))
+        });
+    }
+    group.finish();
+}
+
+/// Times the same sweeps with `Instant` and records them as JSON — the
+/// artefact the ≥5× speedup acceptance gate reads.
+fn emit_spatial_json(_c: &mut Criterion) {
+    let mut entries = Vec::new();
+    for &n in &SIZES {
+        let field = crowd(n);
+        let reps = (20_000 / n).clamp(3, 50);
+        let time_ms = |grid: bool| {
+            // First call builds the lazy grid cache; keep it out of the
+            // steady-state measurement, then take the best of `reps`.
+            let mut checksum = sweep(&field, n, grid);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                checksum = checksum.max(sweep(&field, n, grid));
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            black_box(checksum);
+            best
+        };
+        let scan_ms = time_ms(false);
+        let grid_ms = time_ms(true);
+        let speedup = scan_ms / grid_ms;
+        println!(
+            "spatial n={n:>6}: scan {scan_ms:>10.3} ms  grid {grid_ms:>8.3} ms  speedup {speedup:>6.1}x"
+        );
+        entries.push(format!(
+            "    {{ \"n\": {n}, \"scan_ms\": {scan_ms:.4}, \"grid_ms\": {grid_ms:.4}, \"speedup\": {speedup:.2} }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_neighbours\",\n  \"area_side_m\": {AREA_SIDE_M},\n  \"radius_m\": {RADIUS_M},\n  \"sweep\": \"all-device neighbours_within vs neighbours_within_scan\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Benches run with the package dir as cwd; anchor the artefact at
+    // the repository root regardless.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spatial.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_spatial.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_spatial.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_neighbours, emit_spatial_json);
+criterion_main!(benches);

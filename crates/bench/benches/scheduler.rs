@@ -35,8 +35,8 @@ fn bench_arrivals(c: &mut Criterion) {
                     );
                     let mut ids = MessageIdGen::new();
                     for i in 0..batch as u64 {
-                        let decision =
-                            scheduler.on_arrival(SimTime::from_secs(i % 260), heartbeat(&mut ids, i % 260));
+                        let decision = scheduler
+                            .on_arrival(SimTime::from_secs(i % 260), heartbeat(&mut ids, i % 260));
                         black_box(decision);
                     }
                     black_box(scheduler.take_batch().len())

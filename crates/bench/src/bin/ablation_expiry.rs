@@ -83,7 +83,14 @@ fn main() {
     ];
     print_table(
         "Delay-tolerance ablation — 150 s period, 160 s expiration vs a 270 s relay window",
-        &["configuration", "forwards", "delivered", "dups", "offline s", "L3"],
+        &[
+            "configuration",
+            "forwards",
+            "delivered",
+            "dups",
+            "offline s",
+            "L3",
+        ],
         &rows,
     );
     write_csv(
@@ -123,6 +130,9 @@ fn main() {
     check(
         "the rescue path masks expiries even without the clause",
         neither.duplicates > 0,
-        format!("{} duplicate deliveries from fallback races", neither.duplicates),
+        format!(
+            "{} duplicate deliveries from fallback races",
+            neither.duplicates
+        ),
     );
 }

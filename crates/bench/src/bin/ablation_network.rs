@@ -58,7 +58,14 @@ fn main() {
     );
     write_csv(
         "ablation_network",
-        &["network", "n", "cell_uah", "ue_saving", "sys_saving", "sig_saving"],
+        &[
+            "network",
+            "n",
+            "cell_uah",
+            "ue_saving",
+            "sys_saving",
+            "sig_saving",
+        ],
         &rows,
     )
     .expect("csv");
@@ -78,7 +85,11 @@ fn main() {
     check(
         "the UE saves energy on both networks",
         wcdma7.ue_saving() > 0.4 && lte7.ue_saving() > 0.4,
-        format!("WCDMA {} / LTE {}", pct(wcdma7.ue_saving()), pct(lte7.ue_saving())),
+        format!(
+            "WCDMA {} / LTE {}",
+            pct(wcdma7.ue_saving()),
+            pct(lte7.ue_saving())
+        ),
     );
     check(
         "whole-system savings hold on both networks",

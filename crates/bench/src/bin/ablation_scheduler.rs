@@ -84,9 +84,8 @@ fn main() {
     );
     check(
         "signaling falls monotonically with capacity",
-        rows.windows(2).all(|w| {
-            w[0][2].parse::<u64>().unwrap() >= w[1][2].parse::<u64>().unwrap()
-        }),
+        rows.windows(2)
+            .all(|w| w[0][2].parse::<u64>().unwrap() >= w[1][2].parse::<u64>().unwrap()),
         "monotone in M",
     );
     check(

@@ -7,11 +7,17 @@
 //! ratio of the relay's *wasted* energy to the UEs' *saved* energy drops
 //! from ≈97% at one UE and one forward to a few percent — the framework's
 //! win-win argument.
+//!
+//! The (UE count × transmissions) grid is embarrassingly parallel, so
+//! every cell runs once through [`hbr_bench::run_sweep`] and the tables
+//! and shape checks below read from the collected grid.
 
-use hbr_bench::{check, f, pct, print_table, write_csv};
-use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
+use std::collections::HashMap;
 
-fn run(m: usize, n: u32) -> hbr_core::experiment::ExperimentRun {
+use hbr_bench::{check, f, pct, print_table, run_sweep, write_csv};
+use hbr_core::experiment::{ControlledExperiment, ExperimentConfig, ExperimentRun};
+
+fn run(m: usize, n: u32) -> ExperimentRun {
     ControlledExperiment::new(ExperimentConfig {
         ue_count: m,
         transmissions: n,
@@ -25,12 +31,25 @@ fn run(m: usize, n: u32) -> hbr_core::experiment::ExperimentRun {
 fn main() {
     let ue_counts = [1usize, 3, 5, 7];
 
+    // One run per (m, n) cell; the controlled experiment seeds itself,
+    // so the sweep's per-point stream goes unused.
+    let points: Vec<(usize, u32)> = ue_counts
+        .iter()
+        .flat_map(|&m| (1..=8u32).map(move |n| (m, n)))
+        .collect();
+    let runs: HashMap<(usize, u32), ExperimentRun> = points
+        .iter()
+        .copied()
+        .zip(run_sweep(0, points.clone(), |&(m, n), _| run(m, n)))
+        .collect();
+    let cell = |m: usize, n: u32| &runs[&(m, n)];
+
     // Fig. 10: relay energy table.
     let mut fig10 = Vec::new();
     for n in 1..=7u32 {
         let mut row = vec![n.to_string()];
         for &m in &ue_counts {
-            row.push(f(run(m, n).relay_energy(), 0));
+            row.push(f(cell(m, n).relay_energy(), 0));
         }
         fig10.push(row);
     }
@@ -47,7 +66,7 @@ fn main() {
     for n in 1..=8u32 {
         let mut row = vec![n.to_string()];
         for &m in &ue_counts {
-            row.push(pct(run(m, n).wasted_to_saved_ratio()));
+            row.push(pct(cell(m, n).wasted_to_saved_ratio()));
         }
         fig11.push(row);
     }
@@ -59,9 +78,11 @@ fn main() {
     write_csv("fig11", &["n", "ue1", "ue3", "ue5", "ue7"], &fig11)
         .expect("write results/fig11.csv");
 
-    let start_ratio = run(1, 1).wasted_to_saved_ratio();
-    let end_ratio = run(7, 8).wasted_to_saved_ratio();
-    println!("\nPaper targets: ratio starts ≈97%, falls steeply with UEs × forwards (paper floor ≈5%).");
+    let start_ratio = cell(1, 1).wasted_to_saved_ratio();
+    let end_ratio = cell(7, 8).wasted_to_saved_ratio();
+    println!(
+        "\nPaper targets: ratio starts ≈97%, falls steeply with UEs × forwards (paper floor ≈5%)."
+    );
     println!("Shape checks:");
     check(
         "ratio starts near 100% (1 UE, 1 forward)",
@@ -75,20 +96,16 @@ fn main() {
     );
     check(
         "more UEs cost the relay more energy at every n (Fig. 10)",
-        (1..=7u32).all(|n| {
-            let e1 = run(1, n).relay_energy();
-            let e7 = run(7, n).relay_energy();
-            e7 > e1
-        }),
+        (1..=7u32).all(|n| cell(7, n).relay_energy() > cell(1, n).relay_energy()),
         "monotone in m",
     );
     check(
         "the multi-UE increment shrinks relative to total as n grows",
         {
-            let rel_gap_1 = (run(7, 1).relay_energy() - run(1, 1).relay_energy())
-                / run(7, 1).relay_energy();
-            let rel_gap_7 = (run(7, 7).relay_energy() - run(1, 7).relay_energy())
-                / run(7, 7).relay_energy();
+            let rel_gap_1 =
+                (cell(7, 1).relay_energy() - cell(1, 1).relay_energy()) / cell(7, 1).relay_energy();
+            let rel_gap_7 =
+                (cell(7, 7).relay_energy() - cell(1, 7).relay_energy()) / cell(7, 7).relay_energy();
             rel_gap_7 < rel_gap_1 + 0.35
         },
         "receive cost is linear; establishment amortises",

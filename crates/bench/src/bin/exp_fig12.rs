@@ -50,7 +50,13 @@ fn main() {
     );
     write_csv(
         "fig12",
-        &["distance_m", "ue_uah", "relay_uah", "original_uah", "ue_saved_uah"],
+        &[
+            "distance_m",
+            "ue_uah",
+            "relay_uah",
+            "original_uah",
+            "ue_saved_uah",
+        ],
         &rows,
     )
     .expect("write results/fig12.csv");
@@ -58,9 +64,8 @@ fn main() {
     println!("\nShape checks:");
     check(
         "UE energy rises monotonically with distance",
-        rows.windows(2).all(|w| {
-            w[0][1].parse::<f64>().unwrap() <= w[1][1].parse::<f64>().unwrap()
-        }),
+        rows.windows(2)
+            .all(|w| w[0][1].parse::<f64>().unwrap() <= w[1][1].parse::<f64>().unwrap()),
         "monotone",
     );
     check(

@@ -38,8 +38,12 @@ fn main() {
         &["Size", "UE", "Relay", "Original/dev"],
         &rows,
     );
-    write_csv("fig13", &["size", "ue_uah", "relay_uah", "original_uah"], &rows)
-        .expect("write results/fig13.csv");
+    write_csv(
+        "fig13",
+        &["size", "ue_uah", "relay_uah", "original_uah"],
+        &rows,
+    )
+    .expect("write results/fig13.csv");
 
     let ue_spread = (ue_series.last().unwrap() - ue_series[0]) / ue_series[0];
     let relay_spread = (relay_series.last().unwrap() - relay_series[0]) / relay_series[0];

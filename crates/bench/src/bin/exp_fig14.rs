@@ -41,12 +41,7 @@ fn main() {
         &["t (s)", "device", "layer-3 message"],
         &rows,
     );
-    write_csv(
-        "fig14",
-        &["t_s", "device", "message"],
-        &rows,
-    )
-    .expect("csv");
+    write_csv("fig14", &["t_s", "device", "message"], &rows).expect("csv");
 
     // One aggregated relay cycle: own heartbeat + 2 forwarded (74 + 2×54 B).
     let aggregated = capture_one_cycle(74 + 2 * 54);
@@ -63,8 +58,12 @@ fn main() {
     check(
         "the cycle is the canonical WCDMA sequence",
         {
-            let msgs: Vec<L3Message> =
-                single.capture().entries().iter().map(|e| e.message).collect();
+            let msgs: Vec<L3Message> = single
+                .capture()
+                .entries()
+                .iter()
+                .map(|e| e.message)
+                .collect();
             msgs.first() == Some(&L3Message::RrcConnectionRequest)
                 && msgs.last() == Some(&L3Message::RrcConnectionReleaseComplete)
                 && msgs.contains(&L3Message::RadioBearerSetup)

@@ -104,8 +104,8 @@ fn main() {
     check(
         "one cellular heartbeat costs ~8× one D2D send",
         {
-            let ratio = cell_meter.total().as_micro_amp_hours()
-                / d2d_meter.total().as_micro_amp_hours();
+            let ratio =
+                cell_meter.total().as_micro_amp_hours() / d2d_meter.total().as_micro_amp_hours();
             (5.0..12.0).contains(&ratio)
         },
         format!(
@@ -121,11 +121,7 @@ fn main() {
         "sampled integral matches exact integral",
         (sampled.as_micro_amp_hours() - exact.as_micro_amp_hours()).abs()
             < 0.02 * exact.as_micro_amp_hours()
-            + PowerMonitor::paper_instrument()
-                .interval()
-                .as_secs_f64()
-                * cell_peak
-                / 3.6,
+                + PowerMonitor::paper_instrument().interval().as_secs_f64() * cell_peak / 3.6,
         format!("{sampled} vs {exact}"),
     );
     let _ = SimDuration::from_secs(0);

@@ -5,13 +5,18 @@
 //! fixed 60-phone crowd we sweep the volunteer-relay share and report
 //! signaling saving, system energy saving, the UE fallback rate (a
 //! proxy for relay overload) and the per-relay burden.
+//!
+//! The cellular baseline and every relay-share point are independent
+//! 2-hour scenarios, so the whole sweep runs through
+//! [`hbr_bench::run_sweep`] — one core per point.
 
-use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_bench::{check, f, pct, print_table, run_sweep, write_csv};
 use hbr_core::fleet::FleetBuilder;
 use hbr_core::world::{Mode, Role, Scenario, ScenarioConfig, ScenarioReport};
 use hbr_sim::SimDuration;
 
 const PHONES: usize = 60;
+const RELAY_SWEEP: [usize; 5] = [3, 6, 12, 18, 24];
 
 fn run(relays: usize, mode: Mode) -> ScenarioReport {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), 5);
@@ -27,11 +32,17 @@ fn run(relays: usize, mode: Mode) -> ScenarioReport {
 }
 
 fn main() {
-    let baseline = run(1, Mode::OriginalCellular);
+    // Point 0 is the cellular baseline; the rest sweep the relay share.
+    // Scenarios carry their own fixed seed, so the per-point stream goes
+    // unused.
+    let mut points: Vec<(usize, Mode)> = vec![(1, Mode::OriginalCellular)];
+    points.extend(RELAY_SWEEP.iter().map(|&r| (r, Mode::D2dFramework)));
+    let mut reports = run_sweep(0, points, |&(relays, mode), _| run(relays, mode));
+    let baseline = reports.remove(0);
+
     let mut rows = Vec::new();
     let mut savings = Vec::new();
-    for relays in [3usize, 6, 12, 18, 24] {
-        let report = run(relays, Mode::D2dFramework);
+    for (&relays, report) in RELAY_SWEEP.iter().zip(&reports) {
         let sig_saving = 1.0 - report.total_l3 as f64 / baseline.total_l3 as f64;
         let energy_saving = 1.0 - report.total_energy_uah / baseline.total_energy_uah;
         let fallbacks: u64 = report
@@ -72,7 +83,14 @@ fn main() {
     );
     write_csv(
         "fleet_sizing",
-        &["relays", "share", "sig_saving", "energy_saving", "fallbacks", "per_relay"],
+        &[
+            "relays",
+            "share",
+            "sig_saving",
+            "energy_saving",
+            "fallbacks",
+            "per_relay",
+        ],
         &rows,
     )
     .expect("csv");
@@ -90,18 +108,11 @@ fn main() {
     check(
         "signaling saving peaks at an interior share (not at either extreme)",
         {
-            let best = savings
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap()
-                .0;
+            let best = savings.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
             best != savings.first().unwrap().0 && best != savings.last().unwrap().0
         },
         {
-            let best = savings
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+            let best = savings.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
             format!("best share = {} relays ({})", best.0, pct(best.1))
         },
     );

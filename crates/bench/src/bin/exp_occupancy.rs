@@ -61,7 +61,14 @@ fn main() {
     );
     write_csv(
         "occupancy",
-        &["radio", "idle_h", "active_s", "tail_s", "tail_frac", "connected_per_device"],
+        &[
+            "radio",
+            "idle_h",
+            "active_s",
+            "tail_s",
+            "tail_frac",
+            "connected_per_device",
+        ],
         &rows,
     )
     .expect("csv");

@@ -7,9 +7,14 @@
 //! recruited) and report the base station's layer-3 load and the
 //! §II-B congestion signal, paging failure probability, with and
 //! without the framework.
+//!
+//! Each (crowd size × mode) pair is an independent 1-hour scenario,
+//! dispatched through [`hbr_bench::run_sweep`].
+
+use std::collections::HashMap;
 
 use hbr_apps::AppProfile;
-use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_bench::{check, f, pct, print_table, run_sweep, write_csv};
 use hbr_core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport};
 use hbr_mobility::{Mobility, Position};
 use hbr_sim::{SimDuration, SimRng};
@@ -49,11 +54,27 @@ fn paging_failure(l3: u64, secs: f64) -> f64 {
 
 fn main() {
     let secs = 3600.0;
+    let crowd_sizes = [25usize, 50, 100, 150];
+
+    // Both modes share the crowd layout (same fixed seed 9), so each
+    // comparison is paired; the sweep's per-point stream goes unused.
+    let points: Vec<(usize, Mode)> = crowd_sizes
+        .iter()
+        .flat_map(|&p| [(p, Mode::OriginalCellular), (p, Mode::D2dFramework)])
+        .collect();
+    let reports: HashMap<(usize, Mode), ScenarioReport> = points
+        .iter()
+        .copied()
+        .zip(run_sweep(0, points.clone(), |&(phones, mode), _| {
+            crowd(mode, phones, 9)
+        }))
+        .collect();
+
     let mut rows = Vec::new();
     let mut last_pair = (0.0, 0.0);
-    for phones in [25usize, 50, 100, 150] {
-        let base = crowd(Mode::OriginalCellular, phones, 9);
-        let fw = crowd(Mode::D2dFramework, phones, 9);
+    for phones in crowd_sizes {
+        let base = &reports[&(phones, Mode::OriginalCellular)];
+        let fw = &reports[&(phones, Mode::D2dFramework)];
         let base_fail = paging_failure(base.total_l3, secs);
         let fw_fail = paging_failure(fw.total_l3, secs);
         last_pair = (base_fail, fw_fail);
@@ -99,9 +120,8 @@ fn main() {
     println!("\nShape checks:");
     check(
         "signaling reduction holds at every density",
-        rows.iter().all(|r| {
-            r[2].parse::<u64>().unwrap() * 2 <= r[1].parse::<u64>().unwrap() + 50
-        }),
+        rows.iter()
+            .all(|r| r[2].parse::<u64>().unwrap() * 2 <= r[1].parse::<u64>().unwrap() + 50),
         "framework ≈ halves L3 or better",
     );
     check(
@@ -117,7 +137,8 @@ fn main() {
     check(
         "savings improve with density (more UEs per relay)",
         {
-            let first_ratio = rows[0][2].parse::<f64>().unwrap() / rows[0][1].parse::<f64>().unwrap();
+            let first_ratio =
+                rows[0][2].parse::<f64>().unwrap() / rows[0][1].parse::<f64>().unwrap();
             let last_ratio = rows.last().unwrap()[2].parse::<f64>().unwrap()
                 / rows.last().unwrap()[1].parse::<f64>().unwrap();
             last_ratio <= first_ratio + 0.05

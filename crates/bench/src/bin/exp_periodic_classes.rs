@@ -8,9 +8,9 @@
 //! over a device carrying all of them, demonstrating that nothing in
 //! the stack is heartbeat-specific.
 
-use hbr_apps::AppProfile;
 use hbr_apps::profile::AppId;
-use hbr_bench::{check, f, pct, print_table, write_csv};
+use hbr_apps::AppProfile;
+use hbr_bench::{check, f, pct, print_table, run_sweep, write_csv};
 use hbr_core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport};
 use hbr_mobility::{Mobility, Position};
 use hbr_sim::SimDuration;
@@ -91,8 +91,16 @@ fn main() {
         &class_rows,
     );
 
-    let base = run(Mode::OriginalCellular);
-    let fw = run(Mode::D2dFramework);
+    // The two system variants are independent 6-hour scenarios — run
+    // them side by side (the scenario seeds itself; the per-point
+    // stream goes unused).
+    let mut both = run_sweep(
+        0,
+        vec![Mode::OriginalCellular, Mode::D2dFramework],
+        |&mode, _| run(mode),
+    );
+    let fw = both.pop().expect("framework run");
+    let base = both.pop().expect("baseline run");
     let rows = vec![
         vec![
             "original".into(),
@@ -113,12 +121,26 @@ fn main() {
     ];
     print_table(
         "6 h, 3 UEs × 4 periodic classes + 1 relay",
-        &["system", "L3 msgs", "RRC", "energy µAh", "delivered", "offline s"],
+        &[
+            "system",
+            "L3 msgs",
+            "RRC",
+            "energy µAh",
+            "delivered",
+            "offline s",
+        ],
         &rows,
     );
     write_csv(
         "periodic_classes",
-        &["system", "l3", "rrc", "energy_uah", "delivered", "offline_s"],
+        &[
+            "system",
+            "l3",
+            "rrc",
+            "energy_uah",
+            "delivered",
+            "offline_s",
+        ],
         &rows,
     )
     .expect("csv");
@@ -139,7 +161,10 @@ fn main() {
     check(
         "no class ever misses its expiration window",
         fw.rejected_expired == 0 && fw.offline_secs == 0.0,
-        format!("{} expired, {:.0}s offline", fw.rejected_expired, fw.offline_secs),
+        format!(
+            "{} expired, {:.0}s offline",
+            fw.rejected_expired, fw.offline_secs
+        ),
     );
     check(
         "the high-rate diagnostics stream dominates aggregation gains",

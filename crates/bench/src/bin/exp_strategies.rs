@@ -98,9 +98,7 @@ fn main() {
     check(
         "every strategy trades along a different axis (no free lunch)",
         outcomes.iter().all(|o| {
-            o.name == "d2d-forwarding"
-                || o.offline_secs > 0.0
-                || o.l3_messages >= d2d.l3_messages
+            o.name == "d2d-forwarding" || o.offline_secs > 0.0 || o.l3_messages >= d2d.l3_messages
         }),
         "table above",
     );

@@ -35,8 +35,12 @@ fn main() {
         &["App", "Paper", "Measured", "Messages", "|Δ| (pp)"],
         &rows,
     );
-    write_csv("table1", &["app", "paper", "measured", "messages", "delta_pp"], &rows)
-        .expect("write results/table1.csv");
+    write_csv(
+        "table1",
+        &["app", "paper", "measured", "messages", "delta_pp"],
+        &rows,
+    )
+    .expect("write results/table1.csv");
 
     println!("\nShape checks:");
     check(

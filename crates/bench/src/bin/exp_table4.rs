@@ -55,6 +55,9 @@ fn main() {
             let paper_slope = paper[6] / 7.0;
             (per_message - paper_slope).abs() / paper_slope < 0.02
         },
-        format!("paper {:.2} vs ours {per_message:.2} µAh/message", paper[6] / 7.0),
+        format!(
+            "paper {:.2} vs ours {per_message:.2} µAh/message",
+            paper[6] / 7.0
+        ),
     );
 }

@@ -23,6 +23,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
+pub mod sweep;
+
+pub use sweep::{derive_seed, run_sweep, sweep_threads};
+
 /// Prints a titled, column-aligned text table to stdout.
 ///
 /// # Examples

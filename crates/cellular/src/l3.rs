@@ -139,10 +139,7 @@ impl SignalingCapture {
 
     /// Count of a specific message type.
     pub fn count_of(&self, message: L3Message) -> u64 {
-        self.entries
-            .iter()
-            .filter(|e| e.message == message)
-            .count() as u64
+        self.entries.iter().filter(|e| e.message == message).count() as u64
     }
 
     /// Merges another capture into this one, keeping time order stable by
@@ -185,9 +182,17 @@ mod tests {
     #[test]
     fn records_and_counts() {
         let mut c = SignalingCapture::new();
-        c.record(SimTime::from_secs(1), dev(0), L3Message::RrcConnectionRequest);
+        c.record(
+            SimTime::from_secs(1),
+            dev(0),
+            L3Message::RrcConnectionRequest,
+        );
         c.record(SimTime::from_secs(2), dev(1), L3Message::RrcConnectionSetup);
-        c.record(SimTime::from_secs(3), dev(0), L3Message::RrcConnectionRelease);
+        c.record(
+            SimTime::from_secs(3),
+            dev(0),
+            L3Message::RrcConnectionRelease,
+        );
         assert_eq!(c.total(), 3);
         assert_eq!(c.count_for(dev(0)), 2);
         assert_eq!(c.count_for(dev(9)), 0);
@@ -200,7 +205,10 @@ mod tests {
         for s in 1..=5 {
             c.record(SimTime::from_secs(s), dev(0), L3Message::CellUpdate);
         }
-        assert_eq!(c.count_between(SimTime::from_secs(2), SimTime::from_secs(4)), 2);
+        assert_eq!(
+            c.count_between(SimTime::from_secs(2), SimTime::from_secs(4)),
+            2
+        );
         assert_eq!(c.count_between(SimTime::ZERO, SimTime::from_secs(100)), 5);
     }
 

@@ -231,8 +231,7 @@ impl CellularRadio {
                 RrcState::CellDch => {
                     let demote_at = self.state_since.saturating_add(self.cfg.dch_tail);
                     if now < demote_at {
-                        self.occupancy.dch_secs +=
-                            (now - self.accounted_until).as_secs_f64();
+                        self.occupancy.dch_secs += (now - self.accounted_until).as_secs_f64();
                         activity.push_segment(
                             self.accounted_until,
                             now - self.accounted_until,
@@ -242,8 +241,7 @@ impl CellularRadio {
                         self.accounted_until = now;
                         break;
                     }
-                    self.occupancy.dch_secs +=
-                        (demote_at - self.accounted_until).as_secs_f64();
+                    self.occupancy.dch_secs += (demote_at - self.accounted_until).as_secs_f64();
                     activity.push_segment(
                         self.accounted_until,
                         demote_at - self.accounted_until,
@@ -268,8 +266,7 @@ impl CellularRadio {
                 RrcState::CellFach => {
                     let release_at = self.state_since.saturating_add(self.cfg.fach_tail);
                     if now < release_at {
-                        self.occupancy.fach_secs +=
-                            (now - self.accounted_until).as_secs_f64();
+                        self.occupancy.fach_secs += (now - self.accounted_until).as_secs_f64();
                         activity.push_segment(
                             self.accounted_until,
                             now - self.accounted_until,
@@ -279,8 +276,7 @@ impl CellularRadio {
                         self.accounted_until = now;
                         break;
                     }
-                    self.occupancy.fach_secs +=
-                        (release_at - self.accounted_until).as_secs_f64();
+                    self.occupancy.fach_secs += (release_at - self.accounted_until).as_secs_f64();
                     activity.push_segment(
                         self.accounted_until,
                         release_at - self.accounted_until,
@@ -515,7 +511,10 @@ mod tests {
         apply(&mut meter_b, &b.advance(SimTime::from_secs(60)));
         let ea = meter_a.total().as_micro_amp_hours();
         let eb = meter_b.total().as_micro_amp_hours();
-        assert!((ea - eb).abs() < 1e-6, "split advance changed energy: {ea} vs {eb}");
+        assert!(
+            (ea - eb).abs() < 1e-6,
+            "split advance changed energy: {ea} vs {eb}"
+        );
     }
 
     #[test]
@@ -538,10 +537,8 @@ mod tests {
         let tail = r.finalize(SimTime::from_secs(60));
         assert_eq!(out.rrc_connections, 1);
         // LTE: no RadioBearerReconfiguration demotion, straight to release.
-        assert!(tail
-            .activity_messages_contains(L3Message::RrcConnectionRelease));
-        assert!(!tail
-            .activity_messages_contains(L3Message::RadioBearerReconfiguration));
+        assert!(tail.activity_messages_contains(L3Message::RrcConnectionRelease));
+        assert!(!tail.activity_messages_contains(L3Message::RadioBearerReconfiguration));
     }
 
     impl RadioActivity {
@@ -592,10 +589,7 @@ mod tests {
         let out = r.receive_paged(SimTime::ZERO, 512);
         assert_eq!(out.rrc_connections, 1);
         assert_eq!(out.activity.messages[0].1, L3Message::PagingType1);
-        assert_eq!(
-            out.activity.messages[1].1,
-            L3Message::RrcConnectionRequest
-        );
+        assert_eq!(out.activity.messages[1].1, L3Message::RrcConnectionRequest);
     }
 
     #[test]

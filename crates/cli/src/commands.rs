@@ -41,9 +41,7 @@ fn quickstart(ues: usize, transmissions: u32, distance: f64) {
         ..ExperimentConfig::default()
     })
     .run();
-    println!(
-        "bench: {ues} UE(s) × {transmissions} forwarded heartbeat(s) at {distance} m\n"
-    );
+    println!("bench: {ues} UE(s) × {transmissions} forwarded heartbeat(s) at {distance} m\n");
     println!(
         "UE energy        : {:>9.0} µAh  (original {:>9.0} µAh, saving {:.1}%)",
         run.ue_energy(),
@@ -103,9 +101,7 @@ fn crowd(
     push_mins: u64,
     mode: CrowdMode,
 ) {
-    println!(
-        "crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n"
-    );
+    println!("crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n");
     let runs: Vec<(&str, Mode)> = match mode {
         CrowdMode::D2d => vec![("d2d-framework", Mode::D2dFramework)],
         CrowdMode::Original => vec![("original", Mode::OriginalCellular)],
@@ -114,13 +110,16 @@ fn crowd(
             ("d2d-framework", Mode::D2dFramework),
         ],
     };
-    let mut reports = Vec::new();
-    for (name, m) in &runs {
-        let report = build_crowd(phones, relays, hours, area, seed, push_mins, *m);
+    // `both` runs two full scenarios; they are independent, so let the
+    // sweep harness put each on its own core. Reports come back in run
+    // order, keeping the printout identical to the sequential loop.
+    let reports: Vec<ScenarioReport> = hbr_bench::run_sweep(seed, runs.clone(), |&(_, m), _| {
+        build_crowd(phones, relays, hours, area, seed, push_mins, m)
+    });
+    for ((name, _), report) in runs.iter().zip(&reports) {
         println!("── {name} ──");
         print!("{}", report.render());
         println!();
-        reports.push(report);
     }
     if reports.len() == 2 {
         let (base, fw) = (&reports[0], &reports[1]);

@@ -18,7 +18,7 @@
 
 use hbr_d2d::{GoIntent, TechProfile};
 use hbr_energy::MicroAmpHours;
-use hbr_mobility::{PathLoss, Position};
+use hbr_mobility::{Field, PathLoss, Position};
 use hbr_sim::{DeviceId, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -139,6 +139,16 @@ impl D2dDetector {
         establish + per_send * expected_forwards as f64
     }
 
+    /// Discovery: every device currently within this D2D technology's
+    /// radio range of `ue`, nearest first (ties by id). Answered from the
+    /// field's uniform-grid spatial index, so a detection sweep over a
+    /// dense crowd costs O(n · local density) rather than O(n²); the
+    /// caller turns the ids it cares about (live relays with capacity)
+    /// into [`RelayAdvert`]s.
+    pub fn discover_in_range(&self, field: &Field, ue: DeviceId) -> Vec<(DeviceId, f64)> {
+        field.neighbours_within(ue, self.tech.range_m)
+    }
+
     /// Runs one matching round: measures each advert's RSSI through the
     /// channel model, estimates distances, filters by the §III-C
     /// pre-judgment (distance threshold + free capacity + non-zero GO
@@ -174,7 +184,9 @@ impl D2dDetector {
             return MatchDecision::DirectCellular(NoMatchReason::AllCandidatesInadmissible);
         }
 
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp: a degenerate channel draw (NaN estimate) must never
+        // panic the matcher; NaN sorts last and loses to real distances.
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let (relay, estimated_distance_m) = candidates[0];
 
         if self.config.energy_prejudgment {
@@ -215,7 +227,11 @@ mod tests {
         RelayAdvert {
             device: DeviceId::new(id),
             free_capacity: free,
-            go_intent: if free > 0 { GoIntent::MAX } else { GoIntent::MIN },
+            go_intent: if free > 0 {
+                GoIntent::MAX
+            } else {
+                GoIntent::MIN
+            },
             position: Position::new(x, 0.0),
         }
     }

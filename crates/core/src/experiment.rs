@@ -199,8 +199,8 @@ impl ControlledExperiment {
             // Each UE forwards one heartbeat, staggered inside the period.
             let mut flushed_this_period = false;
             for (j, link) in links.iter_mut().enumerate() {
-                let at = period_start
-                    + cfg.relay_period * (j as u64 + 1) / (cfg.ue_count as u64 + 2);
+                let at =
+                    period_start + cfg.relay_period * (j as u64 + 1) / (cfg.ue_count as u64 + 2);
                 let hb = Heartbeat {
                     id: ids.next_id(),
                     app: app.id,
@@ -319,10 +319,11 @@ impl ControlledExperiment {
             }
             bs.record(DeviceId::new(j as u32 + 1), &tail, 0);
         }
-        let relay_rrc_connections = relay_radio.connections() + ue_fallback_radios
-            .iter()
-            .map(|r| r.connections())
-            .sum::<u64>();
+        let relay_rrc_connections = relay_radio.connections()
+            + ue_fallback_radios
+                .iter()
+                .map(|r| r.connections())
+                .sum::<u64>();
 
         // --- Original system -------------------------------------------------
         // Every device sends its own heartbeat once per period over its own
@@ -522,8 +523,14 @@ mod tests {
         assert!((ue_fwd - 73.09).abs() < 1.0, "UE forwarding {ue_fwd}");
         let relay_disc = r.relay_phase(PhaseGroup::Discovery).as_micro_amp_hours();
         let relay_conn = r.relay_phase(PhaseGroup::Connection).as_micro_amp_hours();
-        assert!((relay_disc - 122.50).abs() < 1.0, "relay discovery {relay_disc}");
-        assert!((relay_conn - 60.29).abs() < 1.0, "relay connection {relay_conn}");
+        assert!(
+            (relay_disc - 122.50).abs() < 1.0,
+            "relay discovery {relay_disc}"
+        );
+        assert!(
+            (relay_conn - 60.29).abs() < 1.0,
+            "relay connection {relay_conn}"
+        );
     }
 
     #[test]
@@ -596,7 +603,10 @@ mod tests {
         let recv3 = r3.relay_meter.phase_total(hbr_energy::Phase::D2dReceive);
         let recv6 = r6.relay_meter.phase_total(hbr_energy::Phase::D2dReceive);
         let ratio = recv6.as_micro_amp_hours() / recv3.as_micro_amp_hours();
-        assert!((ratio - 2.0).abs() < 0.05, "linear scaling, got ×{ratio:.3}");
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "linear scaling, got ×{ratio:.3}"
+        );
     }
 
     #[test]

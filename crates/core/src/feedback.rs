@@ -83,7 +83,9 @@ impl FeedbackTracker {
             .expires_at
             .saturating_since(SimTime::ZERO)
             .saturating_sub(Self::RESCUE_MARGIN);
-        let deadline = (now + self.timeout).min(SimTime::ZERO + latest_useful).max(now);
+        let deadline = (now + self.timeout)
+            .min(SimTime::ZERO + latest_useful)
+            .max(now);
         self.pending.insert(
             heartbeat.id,
             PendingForward {
@@ -188,7 +190,10 @@ mod tests {
         let mut ids = MessageIdGen::new();
         let h = hb(&mut ids);
         t.on_forward(h, SimTime::from_secs(10));
-        assert!(t.expire_due(SimTime::from_secs(39)).is_empty(), "not due yet");
+        assert!(
+            t.expire_due(SimTime::from_secs(39)).is_empty(),
+            "not due yet"
+        );
         let due = t.expire_due(SimTime::from_secs(40));
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].heartbeat.id, h.id);

@@ -121,7 +121,11 @@ impl FleetBuilder {
                     Mobility::stationary(Position::new(x, y))
                 };
                 DeviceSpec {
-                    role: if i < self.relays { Role::Relay } else { Role::Ue },
+                    role: if i < self.relays {
+                        Role::Relay
+                    } else {
+                        Role::Ue
+                    },
                     apps: self.apps[i % self.apps.len()].clone(),
                     mobility,
                     battery_mah: self.battery_mah,

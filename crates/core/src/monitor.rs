@@ -156,7 +156,9 @@ mod tests {
         assert!(monitor.unregister(wechat.id).is_some());
         assert!(monitor.unregister(wechat.id).is_none());
         let mut ids = MessageIdGen::new();
-        assert!(monitor.intercept(heartbeat_for(&wechat, &mut ids)).is_none());
+        assert!(monitor
+            .intercept(heartbeat_for(&wechat, &mut ids))
+            .is_none());
     }
 
     #[test]
@@ -164,9 +166,7 @@ mod tests {
         let mut monitor = MessageMonitor::new();
         let wechat = AppProfile::wechat();
         monitor.register(wechat.clone());
-        let updated = wechat
-            .clone()
-            .with_expiration(SimDuration::from_secs(60));
+        let updated = wechat.clone().with_expiration(SimDuration::from_secs(60));
         monitor.register(updated);
         let mut ids = MessageIdGen::new();
         let caught = monitor.intercept(heartbeat_for(&wechat, &mut ids)).unwrap();

@@ -115,12 +115,7 @@ impl MessageScheduler {
     /// # Panics
     ///
     /// Panics if `capacity` is zero or `period` is zero.
-    pub fn new(
-        capacity: usize,
-        period: SimDuration,
-        margin: SimDuration,
-        start: SimTime,
-    ) -> Self {
+    pub fn new(capacity: usize, period: SimDuration, margin: SimDuration, start: SimTime) -> Self {
         assert!(capacity > 0, "capacity M must be positive");
         assert!(!period.is_zero(), "period T must be positive");
         MessageScheduler {
@@ -411,7 +406,10 @@ mod tests {
         let mut ids = MessageIdGen::new();
         // Arrives with less slack than the margin.
         let decision = s.on_arrival(SimTime::from_secs(98), hb(&mut ids, 98, 100));
-        assert_eq!(decision, ScheduleDecision::Flush(FlushReason::ExpirationImminent));
+        assert_eq!(
+            decision,
+            ScheduleDecision::Flush(FlushReason::ExpirationImminent)
+        );
     }
 
     #[test]

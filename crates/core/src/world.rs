@@ -46,7 +46,7 @@ pub enum Role {
 }
 
 /// How devices transport their heartbeats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// The paper's framework: D2D forwarding with scheduling + fallback.
     D2dFramework,
@@ -222,7 +222,11 @@ impl ScenarioReport {
                 dev.forwards,
                 dev.rewards,
                 dev.energy_uah,
-                if dev.battery_depleted { "  [battery dead]" } else { "" }
+                if dev.battery_depleted {
+                    "  [battery dead]"
+                } else {
+                    ""
+                }
             );
         }
         out
@@ -431,10 +435,7 @@ impl Scenario {
                     .register(world.devices[i].id, app, SimTime::ZERO);
                 world.sim.schedule_at(
                     schedule.peek_next(),
-                    Event::HeartbeatDue {
-                        device: i,
-                        app_idx,
-                    },
+                    Event::HeartbeatDue { device: i, app_idx },
                 );
                 if let Some(mean) = world.config.push_interval {
                     let first = SimTime::ZERO + world.rng.exp_duration(mean);
@@ -550,8 +551,10 @@ impl Scenario {
         let deadline = scheduler.next_deadline();
         dev.deadline_generation += 1;
         let generation = dev.deadline_generation;
-        self.sim
-            .schedule_at(deadline.max(now), Event::FlushDeadline { device, generation });
+        self.sim.schedule_at(
+            deadline.max(now),
+            Event::FlushDeadline { device, generation },
+        );
     }
 
     /// Extra slack a UE requires beyond the relay's aggregation window
@@ -597,7 +600,12 @@ impl Scenario {
                 return;
             }
             // Link establishing: queue behind it.
-            if self.devices[device].link.as_ref().and_then(|l| l.ready_at()).is_some() {
+            if self.devices[device]
+                .link
+                .as_ref()
+                .and_then(|l| l.ready_at())
+                .is_some()
+            {
                 self.devices[device].pending_until_ready.push(hb);
                 return;
             }
@@ -615,25 +623,37 @@ impl Scenario {
             return;
         };
 
-        // Build adverts from live relays whose aggregation window fits
-        // the message's slack (the delegation policy).
+        // Discover devices in radio range through the field's spatial
+        // index — O(local density), not a scan over the whole world —
+        // then build adverts from the live relays among them whose
+        // aggregation window fits the message's slack (the delegation
+        // policy). Ascending-id order matches the retired full-scan
+        // path, so the detector's RNG draw order (and with it every
+        // seeded experiment) is unchanged.
         let slack = hb.slack(now);
-        let adverts: Vec<RelayAdvert> = self
-            .devices
-            .iter()
-            .enumerate()
-            .filter(|(i, d)| *i != device && d.role == Role::Relay && d.is_alive())
-            .filter_map(|(_, d)| {
+        let mut in_range: Vec<usize> = self
+            .detector
+            .discover_in_range(&self.field, self.devices[device].id)
+            .into_iter()
+            .map(|(id, _)| id.index() as usize)
+            .collect();
+        in_range.sort_unstable();
+        let adverts: Vec<RelayAdvert> = in_range
+            .into_iter()
+            .map(|i| &self.devices[i])
+            .filter(|d| d.role == Role::Relay && d.is_alive())
+            .filter_map(|d| {
                 let scheduler = d.scheduler.as_ref()?;
                 let position = self.field.position(d.id)?;
-                Some((scheduler.period(), RelayAdvert {
-                    device: d.id,
-                    free_capacity: scheduler
-                        .capacity()
-                        .saturating_sub(scheduler.collected()),
-                    go_intent: scheduler.go_intent(),
-                    position,
-                }))
+                Some((
+                    scheduler.period(),
+                    RelayAdvert {
+                        device: d.id,
+                        free_capacity: scheduler.capacity().saturating_sub(scheduler.collected()),
+                        go_intent: scheduler.go_intent(),
+                        position,
+                    },
+                ))
             })
             .filter(|(period, _)| {
                 !self.config.framework.delegation_slack_check
@@ -965,7 +985,9 @@ impl Scenario {
         }
         // Drain radio tails.
         for i in 0..self.devices.len() {
-            let tail = self.devices[i].radio.finalize(end + SimDuration::from_secs(60));
+            let tail = self.devices[i]
+                .radio
+                .finalize(end + SimDuration::from_secs(60));
             let id = self.devices[i].id;
             self.apply_activity(i, &tail.segments);
             self.bs.record(id, &tail, 0);

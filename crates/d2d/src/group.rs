@@ -136,7 +136,11 @@ mod tests {
         assert_eq!(GoIntent::for_relay_fill(0, 10), GoIntent::MAX);
         assert_eq!(GoIntent::for_relay_fill(5, 10), GoIntent::new(8)); // 7.5 → 8
         assert_eq!(GoIntent::for_relay_fill(10, 10), GoIntent::MIN);
-        assert_eq!(GoIntent::for_relay_fill(99, 10), GoIntent::MIN, "overfull clamps");
+        assert_eq!(
+            GoIntent::for_relay_fill(99, 10),
+            GoIntent::MIN,
+            "overfull clamps"
+        );
     }
 
     #[test]

@@ -181,8 +181,10 @@ impl D2dGroup {
         owner_activity.segments.extend(owner_conn.segments);
         owner_activity.done_at = ready_at;
 
-        self.members
-            .insert(member, D2dLink::establish_pending(self.tech.clone(), ready_at));
+        self.members.insert(
+            member,
+            D2dLink::establish_pending(self.tech.clone(), ready_at),
+        );
         Ok(JoinOutcome {
             member: member_activity,
             owner: owner_activity,
@@ -336,15 +338,25 @@ mod tests {
             .transfer_from(DeviceId::new(1), join.ready_at, 54, 10_000.0, &mut rng())
             .unwrap();
         assert!(!out.success);
-        assert!(!g.contains(DeviceId::new(1)), "closed link leaves the group");
+        assert!(
+            !g.contains(DeviceId::new(1)),
+            "closed link leaves the group"
+        );
     }
 
     #[test]
     fn idle_bills_owner_once_and_members_each() {
         let mut g = group(4);
-        let j1 = g.try_join(DeviceId::new(1), GoIntent::MIN, SimTime::ZERO).unwrap();
-        let _j2 = g.try_join(DeviceId::new(2), GoIntent::MIN, SimTime::ZERO).unwrap();
-        let (owner, members) = g.idle(j1.ready_at, j1.ready_at + hbr_sim::SimDuration::from_secs(100));
+        let j1 = g
+            .try_join(DeviceId::new(1), GoIntent::MIN, SimTime::ZERO)
+            .unwrap();
+        let _j2 = g
+            .try_join(DeviceId::new(2), GoIntent::MIN, SimTime::ZERO)
+            .unwrap();
+        let (owner, members) = g.idle(
+            j1.ready_at,
+            j1.ready_at + hbr_sim::SimDuration::from_secs(100),
+        );
         assert_eq!(members.len(), 2);
         assert!(owner.charge().as_micro_amp_hours() > 0.0);
         for (_, m) in &members {

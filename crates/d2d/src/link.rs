@@ -269,7 +269,10 @@ mod tests {
         let mut link = D2dLink::already_connected(TechProfile::wifi_direct());
         let out = link.transfer(SimTime::ZERO, 54, 500.0, &mut rng());
         assert!(!out.success);
-        assert!(out.sender.charge().as_micro_amp_hours() > 0.0, "sender still pays");
+        assert!(
+            out.sender.charge().as_micro_amp_hours() > 0.0,
+            "sender still pays"
+        );
         assert!(out.receiver.segments.is_empty(), "receiver never wakes");
         assert_eq!(link.state(), LinkState::Closed);
         assert!(!link.is_ready(SimTime::from_secs(1)));

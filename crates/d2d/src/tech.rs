@@ -309,7 +309,13 @@ impl TechProfile {
 
     /// The receiver-side activity of the same transfer.
     pub fn receive(&self, now: SimTime, bytes: usize, distance_m: f64) -> D2dActivity {
-        self.transfer(now, bytes, distance_m, self.receive_shape, Phase::D2dReceive)
+        self.transfer(
+            now,
+            bytes,
+            distance_m,
+            self.receive_shape,
+            Phase::D2dReceive,
+        )
     }
 
     fn transfer(
@@ -334,7 +340,12 @@ impl TechProfile {
             ..Default::default()
         };
         a.push(now, spike, shape.spike_current * scale, phase);
-        a.push(now + spike, shape.settle, shape.settle_current * scale, phase);
+        a.push(
+            now + spike,
+            shape.settle,
+            shape.settle_current * scale,
+            phase,
+        );
         a
     }
 
@@ -409,7 +420,10 @@ mod tests {
         let w = TechProfile::wifi_direct();
         let x1 = uah(&w.send(SimTime::ZERO, 54, 1.0));
         let x5 = uah(&w.send(SimTime::ZERO, 270, 1.0));
-        assert!(x5 < x1 * 1.15, "5× payload should stay near-flat: {x1} → {x5}");
+        assert!(
+            x5 < x1 * 1.15,
+            "5× payload should stay near-flat: {x1} → {x5}"
+        );
         assert!(x5 > x1, "but not literally constant");
     }
 

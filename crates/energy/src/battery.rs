@@ -92,7 +92,12 @@ impl Battery {
 
 impl fmt::Display for Battery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "battery {:.1}% of {}", self.level() * 100.0, self.capacity)
+        write!(
+            f,
+            "battery {:.1}% of {}",
+            self.level() * 100.0,
+            self.capacity
+        )
     }
 }
 

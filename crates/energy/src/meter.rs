@@ -193,7 +193,11 @@ mod tests {
         m.apply(SimTime::from_secs(4), &constant(500.0, 2, Phase::D2dSend));
         assert_eq!(m.current_at(SimTime::from_secs(1)), ma(100.0));
         assert_eq!(m.current_at(SimTime::from_secs(5)), ma(600.0));
-        assert_eq!(m.current_at(SimTime::from_secs(6)), ma(100.0), "half-open end");
+        assert_eq!(
+            m.current_at(SimTime::from_secs(6)),
+            ma(100.0),
+            "half-open end"
+        );
         assert_eq!(m.current_at(SimTime::from_secs(10)), MilliAmps::ZERO);
     }
 
@@ -210,7 +214,10 @@ mod tests {
             MicroAmpHours::ZERO
         );
         // Full window equals the total.
-        assert_eq!(m.charge_between(SimTime::ZERO, SimTime::from_secs(100)), m.total());
+        assert_eq!(
+            m.charge_between(SimTime::ZERO, SimTime::from_secs(100)),
+            m.total()
+        );
     }
 
     #[test]

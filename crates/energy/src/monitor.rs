@@ -149,10 +149,7 @@ mod tests {
         let sampled = monitor.measure(&meter, SimTime::ZERO, SimTime::from_secs(5));
         let exact = meter.total();
         let err = (sampled.as_micro_amp_hours() - exact.as_micro_amp_hours()).abs();
-        assert!(
-            err < 1e-6,
-            "sampled {sampled} vs exact {exact} (err {err})"
-        );
+        assert!(err < 1e-6, "sampled {sampled} vs exact {exact} (err {err})");
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The deployment field: every device's mobility track in one place.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use hbr_sim::{DeviceId, SimRng, SimTime};
 
+use crate::grid::SpatialGrid;
 use crate::model::Mobility;
 use crate::position::Position;
 
@@ -31,6 +33,10 @@ use crate::position::Position;
 pub struct Field {
     tracks: BTreeMap<DeviceId, Mobility>,
     now: SimTime,
+    /// Spatial index over current positions, built lazily on the first
+    /// neighbourhood query and kept until a position changes. Interior
+    /// mutability lets read-only queries populate the cache.
+    grid: RefCell<Option<SpatialGrid>>,
 }
 
 impl Field {
@@ -42,11 +48,16 @@ impl Field {
     /// Registers (or replaces) the mobility model for `device`.
     pub fn insert(&mut self, device: DeviceId, mobility: Mobility) {
         self.tracks.insert(device, mobility);
+        *self.grid.get_mut() = None;
     }
 
     /// Removes a device's track, returning it if present.
     pub fn remove(&mut self, device: DeviceId) -> Option<Mobility> {
-        self.tracks.remove(&device)
+        let removed = self.tracks.remove(&device);
+        if removed.is_some() {
+            *self.grid.get_mut() = None;
+        }
+        removed
     }
 
     /// Number of tracked devices.
@@ -74,6 +85,16 @@ impl Field {
             mobility.advance_to(now, rng);
         }
         self.now = now;
+        // Positions moved: rebuild the spatial index in place if a query
+        // already established one (keeping its cell size), otherwise let
+        // the next query size it to its radius.
+        let grid = self.grid.get_mut();
+        if let Some(cell_m) = grid.as_ref().map(SpatialGrid::cell_m) {
+            *grid = Some(SpatialGrid::build(
+                cell_m,
+                self.tracks.iter().map(|(id, m)| (*id, m.position())),
+            ));
+        }
     }
 
     /// The position of `device` as of the last advance, if it is tracked.
@@ -89,7 +110,49 @@ impl Field {
     /// All other devices within `radius` metres of `device`, sorted by
     /// ascending distance (ties broken by device id for determinism).
     /// Returns an empty vector if `device` is not tracked.
+    ///
+    /// Answered from a uniform-grid [`SpatialGrid`] index built lazily
+    /// over the current positions and cached until the next
+    /// [`advance_to`](Field::advance_to) / [`insert`](Field::insert) /
+    /// [`remove`](Field::remove), so a detection sweep over the whole
+    /// field costs O(n · local density) instead of O(n²). The result is
+    /// identical to [`neighbours_within_scan`](Field::neighbours_within_scan).
     pub fn neighbours_within(&self, device: DeviceId, radius: f64) -> Vec<(DeviceId, f64)> {
+        let Some(centre) = self.position(device) else {
+            return Vec::new();
+        };
+        if radius.is_nan() || radius < 0.0 {
+            return Vec::new();
+        }
+        if radius.is_infinite() {
+            // An unbounded query touches everything anyway; the grid
+            // cannot help.
+            return self.neighbours_within_scan(device, radius);
+        }
+        let mut cache = self.grid.borrow_mut();
+        // Cells far narrower or wider than the query radius degrade the
+        // scan back towards O(n); resize when out of proportion. The
+        // steady state — the world querying one discovery radius — never
+        // rebuilds here.
+        let unsuitable = |g: &SpatialGrid| {
+            radius > 0.0 && (g.cell_m() < radius / 8.0 || g.cell_m() > radius * 8.0)
+        };
+        if cache.as_ref().is_none_or(unsuitable) {
+            *cache = Some(SpatialGrid::build(
+                radius.max(1.0),
+                self.tracks.iter().map(|(id, m)| (*id, m.position())),
+            ));
+        }
+        cache
+            .as_ref()
+            .expect("grid cache was just populated")
+            .neighbours_within(device, centre, radius)
+    }
+
+    /// Reference implementation of [`neighbours_within`](Field::neighbours_within)
+    /// as a full linear scan. Kept for equivalence tests and as the
+    /// baseline the `bench_neighbours` bench measures the grid against.
+    pub fn neighbours_within_scan(&self, device: DeviceId, radius: f64) -> Vec<(DeviceId, f64)> {
         let Some(centre) = self.position(device) else {
             return Vec::new();
         };
@@ -100,7 +163,7 @@ impl Field {
             .map(|(id, m)| (*id, centre.distance_to(m.position())))
             .filter(|(_, d)| *d <= radius)
             .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -190,6 +253,47 @@ mod tests {
         assert!(field.remove(dev(0)).is_none());
         assert_eq!(field.len(), 1);
         assert!(!field.is_empty());
+    }
+
+    #[test]
+    fn grid_and_scan_agree_across_mutations() {
+        let mut field = static_field(&[(0, 0.0, 0.0), (1, 3.0, 0.0), (2, 9.0, 9.0)]);
+        field.insert(
+            dev(3),
+            Mobility::linear(Position::new(20.0, 0.0), (-1.0, 0.0)),
+        );
+        for radius in [0.0, 2.0, 10.0, 50.0] {
+            assert_eq!(
+                field.neighbours_within(dev(0), radius),
+                field.neighbours_within_scan(dev(0), radius),
+                "radius {radius} before advancing"
+            );
+        }
+        // Moving devices must invalidate (and rebuild) the cached index.
+        let mut rng = SimRng::seed_from(4);
+        field.advance_to(SimTime::from_secs(15), &mut rng);
+        assert_eq!(
+            field.neighbours_within(dev(0), 10.0),
+            field.neighbours_within_scan(dev(0), 10.0),
+        );
+        assert!(field
+            .neighbours_within(dev(0), 10.0)
+            .iter()
+            .any(|&(id, _)| id == dev(3)));
+        // So must removal.
+        field.remove(dev(1));
+        assert_eq!(
+            field.neighbours_within(dev(0), 10.0),
+            field.neighbours_within_scan(dev(0), 10.0),
+        );
+    }
+
+    #[test]
+    fn degenerate_radii_are_safe() {
+        let field = static_field(&[(0, 0.0, 0.0), (1, 1.0, 0.0)]);
+        assert!(field.neighbours_within(dev(0), f64::NAN).is_empty());
+        assert!(field.neighbours_within(dev(0), -1.0).is_empty());
+        assert_eq!(field.neighbours_within(dev(0), f64::INFINITY).len(), 1);
     }
 
     #[test]

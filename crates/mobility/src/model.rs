@@ -347,8 +347,7 @@ mod tests {
     #[test]
     fn random_waypoint_stays_in_bounds() {
         let bounds = Bounds::square(50.0);
-        let mut m =
-            Mobility::random_waypoint(Position::new(25.0, 25.0), bounds, 0.5, 1.5, 30.0);
+        let mut m = Mobility::random_waypoint(Position::new(25.0, 25.0), bounds, 0.5, 1.5, 30.0);
         let mut r = rng();
         let mut t = SimTime::ZERO;
         for _ in 0..500 {

@@ -34,7 +34,10 @@ impl Position {
     ///
     /// Panics if either coordinate is NaN.
     pub fn new(x: f64, y: f64) -> Self {
-        assert!(!x.is_nan() && !y.is_nan(), "Position coordinates must not be NaN");
+        assert!(
+            !x.is_nan() && !y.is_nan(),
+            "Position coordinates must not be NaN"
+        );
         Position { x, y }
     }
 

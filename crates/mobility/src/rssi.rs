@@ -87,9 +87,11 @@ impl PathLoss {
     /// the model's validity region.
     pub fn rssi_at(&self, distance_m: f64) -> Rssi {
         let d = distance_m.max(self.reference_m);
-        Rssi(self.tx_power_dbm
-            - self.loss_at_reference_db
-            - 10.0 * self.exponent * (d / self.reference_m).log10())
+        Rssi(
+            self.tx_power_dbm
+                - self.loss_at_reference_db
+                - 10.0 * self.exponent * (d / self.reference_m).log10(),
+        )
     }
 
     /// RSSI at `distance_m` with log-normal shadowing noise drawn from `rng`.

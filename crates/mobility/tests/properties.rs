@@ -1,7 +1,7 @@
 //! Property tests for mobility invariants.
 
-use hbr_mobility::{Field, Mobility, PathLoss, Position};
 use hbr_mobility::model::Bounds;
+use hbr_mobility::{Field, Mobility, PathLoss, Position};
 use hbr_sim::{DeviceId, SimRng, SimTime};
 use proptest::prelude::*;
 
@@ -65,6 +65,81 @@ proptest! {
             prop_assert!(*d <= radius);
             prop_assert!(*d >= last);
             last = *d;
+        }
+    }
+
+    /// The grid-indexed `neighbours_within` is exactly the brute-force
+    /// scan for any random cloud, query radius and centre — including
+    /// after `advance_to` moves walkers (which rebuilds the cached
+    /// index), and for untracked devices (both return nothing).
+    #[test]
+    fn grid_equals_scan(
+        points in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..60),
+        radius in 0.0f64..90.0,
+        seed in any::<u64>(),
+        advance_secs in 0u64..180,
+    ) {
+        let mut field: Field = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (DeviceId::new(i as u32), Mobility::stationary(Position::new(x, y))))
+            .collect();
+        // A walker and a drifting device so advancing genuinely moves
+        // positions (stationary clouds would never exercise the rebuild).
+        let walker = DeviceId::new(10_000);
+        field.insert(
+            walker,
+            Mobility::random_waypoint(Position::new(100.0, 100.0), Bounds::square(200.0), 0.5, 1.5, 5.0),
+        );
+        field.insert(DeviceId::new(10_001), Mobility::linear(Position::new(0.0, 0.0), (1.3, 0.7)));
+        if advance_secs > 0 {
+            let mut rng = SimRng::seed_from(seed);
+            field.advance_to(SimTime::from_secs(advance_secs), &mut rng);
+        }
+        for i in 0..points.len() {
+            let id = DeviceId::new(i as u32);
+            prop_assert_eq!(
+                field.neighbours_within(id, radius),
+                field.neighbours_within_scan(id, radius)
+            );
+        }
+        prop_assert_eq!(
+            field.neighbours_within(walker, radius),
+            field.neighbours_within_scan(walker, radius)
+        );
+        // Untracked devices: both paths agree on "no neighbours".
+        let untracked = DeviceId::new(99_999);
+        prop_assert!(field.neighbours_within(untracked, radius).is_empty());
+        prop_assert!(field.neighbours_within_scan(untracked, radius).is_empty());
+    }
+
+    /// Exact-tie distances (lattice clouds put many devices at equal
+    /// range) break by ascending id identically in both paths, and the
+    /// grid honours a radius far smaller or larger than its cell.
+    #[test]
+    fn grid_tie_breaking_matches_scan(
+        n in 2usize..30,
+        radius in 0.0f64..12.0,
+    ) {
+        // A 3×3-spaced lattice with duplicated cells: ids i and i+n sit
+        // on the same point, so every distance appears at least twice.
+        let field: Field = (0..2 * n)
+            .map(|i| {
+                let k = i % n;
+                let pos = Position::new((k % 3) as f64 * 3.0, ((k / 3) % 3) as f64 * 3.0);
+                (DeviceId::new(i as u32), Mobility::stationary(pos))
+            })
+            .collect();
+        for i in 0..2 * n {
+            let id = DeviceId::new(i as u32);
+            let grid = field.neighbours_within(id, radius);
+            prop_assert_eq!(&grid, &field.neighbours_within_scan(id, radius));
+            // Ties are ordered by id: any equal-distance run ascends.
+            for w in grid.windows(2) {
+                if w[0].1 == w[1].1 {
+                    prop_assert!(w[0].0 < w[1].0);
+                }
+            }
         }
     }
 }

@@ -46,7 +46,7 @@ pub mod trace;
 
 pub use engine::{EventId, FiredEvent, Simulation};
 pub use ids::DeviceId;
-pub use trace::{TraceEntry, Tracer};
 pub use rng::SimRng;
 pub use stats::{Counter, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, Tracer};

@@ -67,8 +67,14 @@ fn main() {
     }
 
     assert!(home.forwards > 0, "morning heartbeats ride the home relay");
-    assert!(office.forwards > 0, "afternoon heartbeats ride the office relay");
-    assert!(ue.rrc_connections > 0, "the commute itself goes over cellular");
+    assert!(
+        office.forwards > 0,
+        "afternoon heartbeats ride the office relay"
+    );
+    assert!(
+        ue.rrc_connections > 0,
+        "the commute itself goes over cellular"
+    );
     assert_eq!(report.offline_secs, 0.0, "presence survives the commute");
     println!("\nAll lifecycle assertions hold: forward → fallback in transit → re-match.");
 }

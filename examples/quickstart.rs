@@ -50,5 +50,7 @@ fn main() {
         );
     }
 
-    println!("Paper (ICDCS'17): >50% signaling reduction, up to 36% system / 55% UE energy saving.");
+    println!(
+        "Paper (ICDCS'17): >50% signaling reduction, up to 36% system / 55% UE energy saving."
+    );
 }

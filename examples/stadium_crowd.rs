@@ -14,7 +14,9 @@
 //! the base station's control-channel relief.
 
 use d2d_heartbeat::apps::AppProfile;
-use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport};
+use d2d_heartbeat::core::world::{
+    DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport,
+};
 use d2d_heartbeat::mobility::model::Bounds;
 use d2d_heartbeat::mobility::{Mobility, Position};
 use d2d_heartbeat::sim::{SimDuration, SimRng};

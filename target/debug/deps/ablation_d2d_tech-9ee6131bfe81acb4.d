@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_d2d_tech-9ee6131bfe81acb4.d: crates/bench/src/bin/ablation_d2d_tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_d2d_tech-9ee6131bfe81acb4.rmeta: crates/bench/src/bin/ablation_d2d_tech.rs Cargo.toml
+
+crates/bench/src/bin/ablation_d2d_tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

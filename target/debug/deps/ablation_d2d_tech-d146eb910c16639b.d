@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_d2d_tech-d146eb910c16639b.d: crates/bench/src/bin/ablation_d2d_tech.rs
+
+/root/repo/target/debug/deps/ablation_d2d_tech-d146eb910c16639b: crates/bench/src/bin/ablation_d2d_tech.rs
+
+crates/bench/src/bin/ablation_d2d_tech.rs:

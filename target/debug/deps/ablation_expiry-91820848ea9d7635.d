@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_expiry-91820848ea9d7635.d: crates/bench/src/bin/ablation_expiry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_expiry-91820848ea9d7635.rmeta: crates/bench/src/bin/ablation_expiry.rs Cargo.toml
+
+crates/bench/src/bin/ablation_expiry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_expiry-bbb3d143a88d0ea3.d: crates/bench/src/bin/ablation_expiry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_expiry-bbb3d143a88d0ea3.rmeta: crates/bench/src/bin/ablation_expiry.rs Cargo.toml
+
+crates/bench/src/bin/ablation_expiry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_expiry-e500e6fb0f840f3d.d: crates/bench/src/bin/ablation_expiry.rs
+
+/root/repo/target/debug/deps/ablation_expiry-e500e6fb0f840f3d: crates/bench/src/bin/ablation_expiry.rs
+
+crates/bench/src/bin/ablation_expiry.rs:

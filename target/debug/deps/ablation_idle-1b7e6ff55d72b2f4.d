@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_idle-1b7e6ff55d72b2f4.d: crates/bench/src/bin/ablation_idle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_idle-1b7e6ff55d72b2f4.rmeta: crates/bench/src/bin/ablation_idle.rs Cargo.toml
+
+crates/bench/src/bin/ablation_idle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_idle-28b047ebe5f40190.d: crates/bench/src/bin/ablation_idle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_idle-28b047ebe5f40190.rmeta: crates/bench/src/bin/ablation_idle.rs Cargo.toml
+
+crates/bench/src/bin/ablation_idle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_idle-3268a6f5f4fca279.d: crates/bench/src/bin/ablation_idle.rs
+
+/root/repo/target/debug/deps/ablation_idle-3268a6f5f4fca279: crates/bench/src/bin/ablation_idle.rs
+
+crates/bench/src/bin/ablation_idle.rs:

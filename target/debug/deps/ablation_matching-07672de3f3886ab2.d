@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_matching-07672de3f3886ab2.d: crates/bench/src/bin/ablation_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_matching-07672de3f3886ab2.rmeta: crates/bench/src/bin/ablation_matching.rs Cargo.toml
+
+crates/bench/src/bin/ablation_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

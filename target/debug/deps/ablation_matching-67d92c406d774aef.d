@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_matching-67d92c406d774aef.d: crates/bench/src/bin/ablation_matching.rs
+
+/root/repo/target/debug/deps/ablation_matching-67d92c406d774aef: crates/bench/src/bin/ablation_matching.rs
+
+crates/bench/src/bin/ablation_matching.rs:

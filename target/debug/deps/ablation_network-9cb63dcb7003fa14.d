@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_network-9cb63dcb7003fa14.d: crates/bench/src/bin/ablation_network.rs
+
+/root/repo/target/debug/deps/ablation_network-9cb63dcb7003fa14: crates/bench/src/bin/ablation_network.rs
+
+crates/bench/src/bin/ablation_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_network-e078a4ba7f31bc76.d: crates/bench/src/bin/ablation_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_network-e078a4ba7f31bc76.rmeta: crates/bench/src/bin/ablation_network.rs Cargo.toml
+
+crates/bench/src/bin/ablation_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scheduler-0a34d6c4db39e0ad.d: crates/bench/src/bin/ablation_scheduler.rs
+
+/root/repo/target/debug/deps/ablation_scheduler-0a34d6c4db39e0ad: crates/bench/src/bin/ablation_scheduler.rs
+
+crates/bench/src/bin/ablation_scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scheduler-a75b220bc9588eff.d: crates/bench/src/bin/ablation_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scheduler-a75b220bc9588eff.rmeta: crates/bench/src/bin/ablation_scheduler.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scheduler-d5507e3fa15d5917.d: crates/bench/src/bin/ablation_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scheduler-d5507e3fa15d5917.rmeta: crates/bench/src/bin/ablation_scheduler.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/churn-189fc1f8eeef5d85.d: tests/churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchurn-189fc1f8eeef5d85.rmeta: tests/churn.rs Cargo.toml
+
+tests/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

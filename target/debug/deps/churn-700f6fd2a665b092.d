@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn-700f6fd2a665b092.d: tests/churn.rs
+
+/root/repo/target/debug/deps/churn-700f6fd2a665b092: tests/churn.rs
+
+tests/churn.rs:

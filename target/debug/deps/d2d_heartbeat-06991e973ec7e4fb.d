@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/d2d_heartbeat-06991e973ec7e4fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libd2d_heartbeat-06991e973ec7e4fb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libd2d_heartbeat-06991e973ec7e4fb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/d2d_heartbeat-417b6de576036ec2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libd2d_heartbeat-417b6de576036ec2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

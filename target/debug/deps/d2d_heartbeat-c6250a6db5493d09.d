@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/d2d_heartbeat-c6250a6db5493d09.d: src/lib.rs
+
+/root/repo/target/debug/deps/d2d_heartbeat-c6250a6db5493d09: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-44dce0e27f8ddcd5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-44dce0e27f8ddcd5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_battery_life-36d45294c21dd6c1.d: crates/bench/src/bin/exp_battery_life.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_battery_life-36d45294c21dd6c1.rmeta: crates/bench/src/bin/exp_battery_life.rs Cargo.toml
+
+crates/bench/src/bin/exp_battery_life.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

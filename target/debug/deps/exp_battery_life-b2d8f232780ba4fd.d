@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_battery_life-b2d8f232780ba4fd.d: crates/bench/src/bin/exp_battery_life.rs
+
+/root/repo/target/debug/deps/exp_battery_life-b2d8f232780ba4fd: crates/bench/src/bin/exp_battery_life.rs
+
+crates/bench/src/bin/exp_battery_life.rs:

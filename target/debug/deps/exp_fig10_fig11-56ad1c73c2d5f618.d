@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10_fig11-56ad1c73c2d5f618.d: crates/bench/src/bin/exp_fig10_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig10_fig11-56ad1c73c2d5f618: crates/bench/src/bin/exp_fig10_fig11.rs
+
+crates/bench/src/bin/exp_fig10_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-f464e9059d7d7b29.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-f464e9059d7d7b29: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig13-374c2b7856cbb6a7.d: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig13-374c2b7856cbb6a7.rmeta: crates/bench/src/bin/exp_fig13.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

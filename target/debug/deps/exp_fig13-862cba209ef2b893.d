@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-862cba209ef2b893.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-862cba209ef2b893: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

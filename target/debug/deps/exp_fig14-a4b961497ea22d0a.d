@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-a4b961497ea22d0a.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-a4b961497ea22d0a: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-3d6db45fda4dd5f0.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-3d6db45fda4dd5f0: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

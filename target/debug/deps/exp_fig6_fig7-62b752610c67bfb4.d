@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6_fig7-62b752610c67bfb4.d: crates/bench/src/bin/exp_fig6_fig7.rs
+
+/root/repo/target/debug/deps/exp_fig6_fig7-62b752610c67bfb4: crates/bench/src/bin/exp_fig6_fig7.rs
+
+crates/bench/src/bin/exp_fig6_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8_fig9-f89a41ebce40e845.d: crates/bench/src/bin/exp_fig8_fig9.rs
+
+/root/repo/target/debug/deps/exp_fig8_fig9-f89a41ebce40e845: crates/bench/src/bin/exp_fig8_fig9.rs
+
+crates/bench/src/bin/exp_fig8_fig9.rs:

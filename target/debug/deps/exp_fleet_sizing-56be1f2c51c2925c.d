@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fleet_sizing-56be1f2c51c2925c.d: crates/bench/src/bin/exp_fleet_sizing.rs
+
+/root/repo/target/debug/deps/exp_fleet_sizing-56be1f2c51c2925c: crates/bench/src/bin/exp_fleet_sizing.rs
+
+crates/bench/src/bin/exp_fleet_sizing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fleet_sizing-b8d22cc4b66952ce.d: crates/bench/src/bin/exp_fleet_sizing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fleet_sizing-b8d22cc4b66952ce.rmeta: crates/bench/src/bin/exp_fleet_sizing.rs Cargo.toml
+
+crates/bench/src/bin/exp_fleet_sizing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_motivation-a2de8fae12280faa.d: crates/bench/src/bin/exp_motivation.rs
+
+/root/repo/target/debug/deps/exp_motivation-a2de8fae12280faa: crates/bench/src/bin/exp_motivation.rs
+
+crates/bench/src/bin/exp_motivation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_motivation-fdbeca9997bad165.d: crates/bench/src/bin/exp_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_motivation-fdbeca9997bad165.rmeta: crates/bench/src/bin/exp_motivation.rs Cargo.toml
+
+crates/bench/src/bin/exp_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_occupancy-3ce5d061bb3d9b8a.d: crates/bench/src/bin/exp_occupancy.rs
+
+/root/repo/target/debug/deps/exp_occupancy-3ce5d061bb3d9b8a: crates/bench/src/bin/exp_occupancy.rs
+
+crates/bench/src/bin/exp_occupancy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_occupancy-c76d24c0af3f3d68.d: crates/bench/src/bin/exp_occupancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_occupancy-c76d24c0af3f3d68.rmeta: crates/bench/src/bin/exp_occupancy.rs Cargo.toml
+
+crates/bench/src/bin/exp_occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

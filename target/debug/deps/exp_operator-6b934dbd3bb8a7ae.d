@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_operator-6b934dbd3bb8a7ae.d: crates/bench/src/bin/exp_operator.rs
+
+/root/repo/target/debug/deps/exp_operator-6b934dbd3bb8a7ae: crates/bench/src/bin/exp_operator.rs
+
+crates/bench/src/bin/exp_operator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_operator-6cbebbc573f52598.d: crates/bench/src/bin/exp_operator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_operator-6cbebbc573f52598.rmeta: crates/bench/src/bin/exp_operator.rs Cargo.toml
+
+crates/bench/src/bin/exp_operator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

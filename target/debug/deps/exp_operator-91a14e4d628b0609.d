@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_operator-91a14e4d628b0609.d: crates/bench/src/bin/exp_operator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_operator-91a14e4d628b0609.rmeta: crates/bench/src/bin/exp_operator.rs Cargo.toml
+
+crates/bench/src/bin/exp_operator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_periodic_classes-1c1f619e0a65008a.d: crates/bench/src/bin/exp_periodic_classes.rs
+
+/root/repo/target/debug/deps/exp_periodic_classes-1c1f619e0a65008a: crates/bench/src/bin/exp_periodic_classes.rs
+
+crates/bench/src/bin/exp_periodic_classes.rs:

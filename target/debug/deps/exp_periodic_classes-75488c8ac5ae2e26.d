@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_periodic_classes-75488c8ac5ae2e26.d: crates/bench/src/bin/exp_periodic_classes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_periodic_classes-75488c8ac5ae2e26.rmeta: crates/bench/src/bin/exp_periodic_classes.rs Cargo.toml
+
+crates/bench/src/bin/exp_periodic_classes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_periodic_classes-8c51539fdc90cafb.d: crates/bench/src/bin/exp_periodic_classes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_periodic_classes-8c51539fdc90cafb.rmeta: crates/bench/src/bin/exp_periodic_classes.rs Cargo.toml
+
+crates/bench/src/bin/exp_periodic_classes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

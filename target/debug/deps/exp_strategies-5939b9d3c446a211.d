@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_strategies-5939b9d3c446a211.d: crates/bench/src/bin/exp_strategies.rs
+
+/root/repo/target/debug/deps/exp_strategies-5939b9d3c446a211: crates/bench/src/bin/exp_strategies.rs
+
+crates/bench/src/bin/exp_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_strategies-e1901f9985beed89.d: crates/bench/src/bin/exp_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_strategies-e1901f9985beed89.rmeta: crates/bench/src/bin/exp_strategies.rs Cargo.toml
+
+crates/bench/src/bin/exp_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-2830b5f6cddebb85.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-2830b5f6cddebb85: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-772dd2cb87d19294.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-772dd2cb87d19294: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

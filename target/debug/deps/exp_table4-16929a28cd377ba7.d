@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table4-16929a28cd377ba7.d: crates/bench/src/bin/exp_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table4-16929a28cd377ba7.rmeta: crates/bench/src/bin/exp_table4.rs Cargo.toml
+
+crates/bench/src/bin/exp_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table4-78e4b1ba36d54923.d: crates/bench/src/bin/exp_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table4-78e4b1ba36d54923.rmeta: crates/bench/src/bin/exp_table4.rs Cargo.toml
+
+crates/bench/src/bin/exp_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

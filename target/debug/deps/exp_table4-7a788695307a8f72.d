@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4-7a788695307a8f72.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/debug/deps/exp_table4-7a788695307a8f72: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

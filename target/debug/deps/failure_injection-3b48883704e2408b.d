@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-3b48883704e2408b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-3b48883704e2408b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hbr-615244e7f2d1fd6a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/hbr-615244e7f2d1fd6a: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_apps-0ecaf8160b8d02e4.d: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_apps-0ecaf8160b8d02e4.rmeta: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/generator.rs:
+crates/apps/src/message.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

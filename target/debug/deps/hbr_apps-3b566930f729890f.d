@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbr_apps-3b566930f729890f.d: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+/root/repo/target/debug/deps/hbr_apps-3b566930f729890f: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/generator.rs:
+crates/apps/src/message.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbr_apps-f5245738e1e56b40.d: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+/root/repo/target/debug/deps/libhbr_apps-f5245738e1e56b40.rlib: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+/root/repo/target/debug/deps/libhbr_apps-f5245738e1e56b40.rmeta: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/generator.rs:
+crates/apps/src/message.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/server.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbr_baseline-21f5979a351d31db.d: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_baseline-21f5979a351d31db.rmeta: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

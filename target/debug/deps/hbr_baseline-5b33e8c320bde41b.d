@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbr_baseline-5b33e8c320bde41b.d: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+/root/repo/target/debug/deps/libhbr_baseline-5b33e8c320bde41b.rlib: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+/root/repo/target/debug/deps/libhbr_baseline-5b33e8c320bde41b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/strategy.rs:

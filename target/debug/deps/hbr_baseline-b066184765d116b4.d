@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbr_baseline-b066184765d116b4.d: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_baseline-b066184765d116b4.rmeta: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

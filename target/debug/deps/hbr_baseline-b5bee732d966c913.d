@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hbr_baseline-b5bee732d966c913.d: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+/root/repo/target/debug/deps/hbr_baseline-b5bee732d966c913: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/strategy.rs:

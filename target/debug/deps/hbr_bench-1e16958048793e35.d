@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hbr_bench-1e16958048793e35.d: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libhbr_bench-1e16958048793e35.rlib: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libhbr_bench-1e16958048793e35.rmeta: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweep.rs:

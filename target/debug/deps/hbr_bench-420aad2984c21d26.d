@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hbr_bench-420aad2984c21d26.d: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/hbr_bench-420aad2984c21d26: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweep.rs:

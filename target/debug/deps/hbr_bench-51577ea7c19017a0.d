@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbr_bench-51577ea7c19017a0.d: crates/bench/src/lib.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_bench-51577ea7c19017a0.rmeta: crates/bench/src/lib.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

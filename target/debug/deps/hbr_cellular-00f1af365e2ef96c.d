@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbr_cellular-00f1af365e2ef96c.d: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+/root/repo/target/debug/deps/hbr_cellular-00f1af365e2ef96c: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bs.rs:
+crates/cellular/src/config.rs:
+crates/cellular/src/l3.rs:
+crates/cellular/src/radio.rs:

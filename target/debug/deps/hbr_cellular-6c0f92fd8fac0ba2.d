@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_cellular-6c0f92fd8fac0ba2.d: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_cellular-6c0f92fd8fac0ba2.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs Cargo.toml
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bs.rs:
+crates/cellular/src/config.rs:
+crates/cellular/src/l3.rs:
+crates/cellular/src/radio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_cellular-d72ac579db4766f5.d: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_cellular-d72ac579db4766f5.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs Cargo.toml
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bs.rs:
+crates/cellular/src/config.rs:
+crates/cellular/src/l3.rs:
+crates/cellular/src/radio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

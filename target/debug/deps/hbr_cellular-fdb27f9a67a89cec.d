@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbr_cellular-fdb27f9a67a89cec.d: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+/root/repo/target/debug/deps/libhbr_cellular-fdb27f9a67a89cec.rlib: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+/root/repo/target/debug/deps/libhbr_cellular-fdb27f9a67a89cec.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bs.rs:
+crates/cellular/src/config.rs:
+crates/cellular/src/l3.rs:
+crates/cellular/src/radio.rs:

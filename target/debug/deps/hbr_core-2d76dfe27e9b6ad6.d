@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbr_core-2d76dfe27e9b6ad6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs
+
+/root/repo/target/debug/deps/hbr_core-2d76dfe27e9b6ad6: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/fleet.rs:
+crates/core/src/incentive.rs:
+crates/core/src/monitor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hbr_core-48e084dca233c806.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_core-48e084dca233c806.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/fleet.rs:
+crates/core/src/incentive.rs:
+crates/core/src/monitor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbr_d2d-3a174edd92a01c84.d: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+/root/repo/target/debug/deps/libhbr_d2d-3a174edd92a01c84.rlib: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+/root/repo/target/debug/deps/libhbr_d2d-3a174edd92a01c84.rmeta: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+crates/d2d/src/lib.rs:
+crates/d2d/src/group.rs:
+crates/d2d/src/group_net.rs:
+crates/d2d/src/link.rs:
+crates/d2d/src/tech.rs:

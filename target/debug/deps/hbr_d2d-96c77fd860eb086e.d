@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hbr_d2d-96c77fd860eb086e.d: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+/root/repo/target/debug/deps/hbr_d2d-96c77fd860eb086e: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+crates/d2d/src/lib.rs:
+crates/d2d/src/group.rs:
+crates/d2d/src/group_net.rs:
+crates/d2d/src/link.rs:
+crates/d2d/src/tech.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_d2d-f368fb07027b22e4.d: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_d2d-f368fb07027b22e4.rmeta: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs Cargo.toml
+
+crates/d2d/src/lib.rs:
+crates/d2d/src/group.rs:
+crates/d2d/src/group_net.rs:
+crates/d2d/src/link.rs:
+crates/d2d/src/tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_energy-323a63c9740a3594.d: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+/root/repo/target/debug/deps/libhbr_energy-323a63c9740a3594.rlib: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+/root/repo/target/debug/deps/libhbr_energy-323a63c9740a3594.rmeta: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/meter.rs:
+crates/energy/src/monitor.rs:
+crates/energy/src/phase.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbr_energy-5ee8fd11c061d629.d: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+/root/repo/target/debug/deps/hbr_energy-5ee8fd11c061d629: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/meter.rs:
+crates/energy/src/monitor.rs:
+crates/energy/src/phase.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/units.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hbr_energy-99445c4f91b370cf.d: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_energy-99445c4f91b370cf.rmeta: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/meter.rs:
+crates/energy/src/monitor.rs:
+crates/energy/src/phase.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hbr_mobility-092c89f6a7d34596.d: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+/root/repo/target/debug/deps/libhbr_mobility-092c89f6a7d34596.rlib: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+/root/repo/target/debug/deps/libhbr_mobility-092c89f6a7d34596.rmeta: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/field.rs:
+crates/mobility/src/grid.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/position.rs:
+crates/mobility/src/rssi.rs:

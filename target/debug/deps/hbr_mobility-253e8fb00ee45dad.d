@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hbr_mobility-253e8fb00ee45dad.d: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhbr_mobility-253e8fb00ee45dad.rmeta: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs Cargo.toml
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/field.rs:
+crates/mobility/src/grid.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/position.rs:
+crates/mobility/src/rssi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hbr_mobility-6a73116ddae6ad19.d: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+/root/repo/target/debug/deps/hbr_mobility-6a73116ddae6ad19: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/field.rs:
+crates/mobility/src/grid.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/position.rs:
+crates/mobility/src/rssi.rs:

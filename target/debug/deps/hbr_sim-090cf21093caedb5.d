@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hbr_sim-090cf21093caedb5.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libhbr_sim-090cf21093caedb5.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libhbr_sim-090cf21093caedb5.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

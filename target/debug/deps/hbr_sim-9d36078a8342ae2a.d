@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hbr_sim-9d36078a8342ae2a.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/hbr_sim-9d36078a8342ae2a: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

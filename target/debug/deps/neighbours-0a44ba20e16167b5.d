@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neighbours-0a44ba20e16167b5.d: crates/bench/benches/neighbours.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneighbours-0a44ba20e16167b5.rmeta: crates/bench/benches/neighbours.rs Cargo.toml
+
+crates/bench/benches/neighbours.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-56f7c97abfbc1c9f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-56f7c97abfbc1c9f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

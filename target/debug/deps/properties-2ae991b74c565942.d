@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ae991b74c565942.d: crates/cellular/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ae991b74c565942: crates/cellular/tests/properties.rs
+
+crates/cellular/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-53566983f76c1e68.d: crates/energy/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-53566983f76c1e68: crates/energy/tests/properties.rs
+
+crates/energy/tests/properties.rs:

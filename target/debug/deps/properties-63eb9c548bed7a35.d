@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-63eb9c548bed7a35.d: crates/mobility/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-63eb9c548bed7a35: crates/mobility/tests/properties.rs
+
+crates/mobility/tests/properties.rs:

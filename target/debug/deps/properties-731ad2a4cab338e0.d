@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-731ad2a4cab338e0.d: crates/energy/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-731ad2a4cab338e0.rmeta: crates/energy/tests/properties.rs Cargo.toml
+
+crates/energy/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

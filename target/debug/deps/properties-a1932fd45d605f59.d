@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a1932fd45d605f59.d: crates/baseline/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a1932fd45d605f59.rmeta: crates/baseline/tests/properties.rs Cargo.toml
+
+crates/baseline/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a36c307e0a79ef28.d: crates/cellular/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a36c307e0a79ef28.rmeta: crates/cellular/tests/properties.rs Cargo.toml
+
+crates/cellular/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

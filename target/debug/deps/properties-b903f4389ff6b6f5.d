@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b903f4389ff6b6f5.d: crates/mobility/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b903f4389ff6b6f5.rmeta: crates/mobility/tests/properties.rs Cargo.toml
+
+crates/mobility/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bd21a9bf7af57ff4.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bd21a9bf7af57ff4: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d71be9f3f5a8d360.d: crates/baseline/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d71be9f3f5a8d360: crates/baseline/tests/properties.rs
+
+crates/baseline/tests/properties.rs:

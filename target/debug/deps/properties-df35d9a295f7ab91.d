@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-df35d9a295f7ab91.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-df35d9a295f7ab91: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-a9e698cbb0b30b9a.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-a9e698cbb0b30b9a.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_properties-aa00fe0de294c839.d: tests/world_properties.rs
+
+/root/repo/target/debug/deps/world_properties-aa00fe0de294c839: tests/world_properties.rs
+
+tests/world_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_properties-b8ad404095487f17.d: tests/world_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_properties-b8ad404095487f17.rmeta: tests/world_properties.rs Cargo.toml
+
+tests/world_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

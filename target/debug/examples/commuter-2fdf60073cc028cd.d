@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/commuter-2fdf60073cc028cd.d: examples/commuter.rs
+
+/root/repo/target/debug/examples/commuter-2fdf60073cc028cd: examples/commuter.rs
+
+examples/commuter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/commuter-538031138276a16e.d: examples/commuter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommuter-538031138276a16e.rmeta: examples/commuter.rs Cargo.toml
+
+examples/commuter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

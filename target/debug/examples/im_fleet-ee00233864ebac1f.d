@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/im_fleet-ee00233864ebac1f.d: examples/im_fleet.rs
+
+/root/repo/target/debug/examples/im_fleet-ee00233864ebac1f: examples/im_fleet.rs
+
+examples/im_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/im_fleet-f8801bb3f3a7f1ad.d: examples/im_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libim_fleet-f8801bb3f3a7f1ad.rmeta: examples/im_fleet.rs Cargo.toml
+
+examples/im_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c176da09db33727e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c176da09db33727e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/relay_economy-440a312584a8d15e.d: examples/relay_economy.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelay_economy-440a312584a8d15e.rmeta: examples/relay_economy.rs Cargo.toml
+
+examples/relay_economy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

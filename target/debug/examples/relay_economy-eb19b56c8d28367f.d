@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relay_economy-eb19b56c8d28367f.d: examples/relay_economy.rs
+
+/root/repo/target/debug/examples/relay_economy-eb19b56c8d28367f: examples/relay_economy.rs
+
+examples/relay_economy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stadium_crowd-06176c3f45ff8421.d: examples/stadium_crowd.rs
+
+/root/repo/target/debug/examples/stadium_crowd-06176c3f45ff8421: examples/stadium_crowd.rs
+
+examples/stadium_crowd.rs:

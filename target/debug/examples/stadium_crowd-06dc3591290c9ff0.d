@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stadium_crowd-06dc3591290c9ff0.d: examples/stadium_crowd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstadium_crowd-06dc3591290c9ff0.rmeta: examples/stadium_crowd.rs Cargo.toml
+
+examples/stadium_crowd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

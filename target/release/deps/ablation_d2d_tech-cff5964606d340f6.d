@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_d2d_tech-cff5964606d340f6.d: crates/bench/src/bin/ablation_d2d_tech.rs
+
+/root/repo/target/release/deps/ablation_d2d_tech-cff5964606d340f6: crates/bench/src/bin/ablation_d2d_tech.rs
+
+crates/bench/src/bin/ablation_d2d_tech.rs:

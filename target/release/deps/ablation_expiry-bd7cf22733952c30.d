@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_expiry-bd7cf22733952c30.d: crates/bench/src/bin/ablation_expiry.rs
+
+/root/repo/target/release/deps/ablation_expiry-bd7cf22733952c30: crates/bench/src/bin/ablation_expiry.rs
+
+crates/bench/src/bin/ablation_expiry.rs:

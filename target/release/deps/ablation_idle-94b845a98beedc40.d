@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_idle-94b845a98beedc40.d: crates/bench/src/bin/ablation_idle.rs
+
+/root/repo/target/release/deps/ablation_idle-94b845a98beedc40: crates/bench/src/bin/ablation_idle.rs
+
+crates/bench/src/bin/ablation_idle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_matching-a4ca87119353101a.d: crates/bench/src/bin/ablation_matching.rs
+
+/root/repo/target/release/deps/ablation_matching-a4ca87119353101a: crates/bench/src/bin/ablation_matching.rs
+
+crates/bench/src/bin/ablation_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_network-9b2dd5eb8992e3af.d: crates/bench/src/bin/ablation_network.rs
+
+/root/repo/target/release/deps/ablation_network-9b2dd5eb8992e3af: crates/bench/src/bin/ablation_network.rs
+
+crates/bench/src/bin/ablation_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scheduler-f798f67ea221173c.d: crates/bench/src/bin/ablation_scheduler.rs
+
+/root/repo/target/release/deps/ablation_scheduler-f798f67ea221173c: crates/bench/src/bin/ablation_scheduler.rs
+
+crates/bench/src/bin/ablation_scheduler.rs:

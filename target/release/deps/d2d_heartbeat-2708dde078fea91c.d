@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/d2d_heartbeat-2708dde078fea91c.d: src/lib.rs
+
+/root/repo/target/release/deps/libd2d_heartbeat-2708dde078fea91c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libd2d_heartbeat-2708dde078fea91c.rmeta: src/lib.rs
+
+src/lib.rs:

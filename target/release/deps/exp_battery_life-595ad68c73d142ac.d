@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_battery_life-595ad68c73d142ac.d: crates/bench/src/bin/exp_battery_life.rs
+
+/root/repo/target/release/deps/exp_battery_life-595ad68c73d142ac: crates/bench/src/bin/exp_battery_life.rs
+
+crates/bench/src/bin/exp_battery_life.rs:

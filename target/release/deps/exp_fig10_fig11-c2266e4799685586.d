@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10_fig11-c2266e4799685586.d: crates/bench/src/bin/exp_fig10_fig11.rs
+
+/root/repo/target/release/deps/exp_fig10_fig11-c2266e4799685586: crates/bench/src/bin/exp_fig10_fig11.rs
+
+crates/bench/src/bin/exp_fig10_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-97a36d54fa98f0e0.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-97a36d54fa98f0e0: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

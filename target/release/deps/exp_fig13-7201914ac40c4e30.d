@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13-7201914ac40c4e30.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/release/deps/exp_fig13-7201914ac40c4e30: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-dc3a41cf493ab142.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-dc3a41cf493ab142: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-798482ad05f27446.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-798482ad05f27446: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6_fig7-a6616dbd97e59fe0.d: crates/bench/src/bin/exp_fig6_fig7.rs
+
+/root/repo/target/release/deps/exp_fig6_fig7-a6616dbd97e59fe0: crates/bench/src/bin/exp_fig6_fig7.rs
+
+crates/bench/src/bin/exp_fig6_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8_fig9-da1d1e7757a14b9c.d: crates/bench/src/bin/exp_fig8_fig9.rs
+
+/root/repo/target/release/deps/exp_fig8_fig9-da1d1e7757a14b9c: crates/bench/src/bin/exp_fig8_fig9.rs
+
+crates/bench/src/bin/exp_fig8_fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fleet_sizing-6d0c504d78287c8d.d: crates/bench/src/bin/exp_fleet_sizing.rs
+
+/root/repo/target/release/deps/exp_fleet_sizing-6d0c504d78287c8d: crates/bench/src/bin/exp_fleet_sizing.rs
+
+crates/bench/src/bin/exp_fleet_sizing.rs:

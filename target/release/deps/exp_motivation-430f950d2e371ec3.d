@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_motivation-430f950d2e371ec3.d: crates/bench/src/bin/exp_motivation.rs
+
+/root/repo/target/release/deps/exp_motivation-430f950d2e371ec3: crates/bench/src/bin/exp_motivation.rs
+
+crates/bench/src/bin/exp_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_occupancy-f5097d26dbf9c9cf.d: crates/bench/src/bin/exp_occupancy.rs
+
+/root/repo/target/release/deps/exp_occupancy-f5097d26dbf9c9cf: crates/bench/src/bin/exp_occupancy.rs
+
+crates/bench/src/bin/exp_occupancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_operator-7335747f35574497.d: crates/bench/src/bin/exp_operator.rs
+
+/root/repo/target/release/deps/exp_operator-7335747f35574497: crates/bench/src/bin/exp_operator.rs
+
+crates/bench/src/bin/exp_operator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_periodic_classes-a38185c4084522c1.d: crates/bench/src/bin/exp_periodic_classes.rs
+
+/root/repo/target/release/deps/exp_periodic_classes-a38185c4084522c1: crates/bench/src/bin/exp_periodic_classes.rs
+
+crates/bench/src/bin/exp_periodic_classes.rs:

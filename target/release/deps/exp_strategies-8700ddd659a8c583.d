@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_strategies-8700ddd659a8c583.d: crates/bench/src/bin/exp_strategies.rs
+
+/root/repo/target/release/deps/exp_strategies-8700ddd659a8c583: crates/bench/src/bin/exp_strategies.rs
+
+crates/bench/src/bin/exp_strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-c9fd5b42dd7bd25a.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-c9fd5b42dd7bd25a: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-64415aafe6a3e878.d: crates/bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-64415aafe6a3e878: crates/bench/src/bin/exp_table3.rs
+
+crates/bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-e4581631da7c9c99.d: crates/bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-e4581631da7c9c99: crates/bench/src/bin/exp_table4.rs
+
+crates/bench/src/bin/exp_table4.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hbr-5ffc678a6aba9066.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/hbr-5ffc678a6aba9066: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbr_apps-a49af03503c0ac25.d: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+/root/repo/target/release/deps/libhbr_apps-a49af03503c0ac25.rlib: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+/root/repo/target/release/deps/libhbr_apps-a49af03503c0ac25.rmeta: crates/apps/src/lib.rs crates/apps/src/generator.rs crates/apps/src/message.rs crates/apps/src/profile.rs crates/apps/src/server.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/generator.rs:
+crates/apps/src/message.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/server.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hbr_baseline-afe0cc3b75e6c4e9.d: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+/root/repo/target/release/deps/libhbr_baseline-afe0cc3b75e6c4e9.rlib: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+/root/repo/target/release/deps/libhbr_baseline-afe0cc3b75e6c4e9.rmeta: crates/baseline/src/lib.rs crates/baseline/src/strategy.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/strategy.rs:

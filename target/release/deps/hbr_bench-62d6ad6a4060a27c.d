@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hbr_bench-62d6ad6a4060a27c.d: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libhbr_bench-62d6ad6a4060a27c.rlib: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libhbr_bench-62d6ad6a4060a27c.rmeta: crates/bench/src/lib.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweep.rs:

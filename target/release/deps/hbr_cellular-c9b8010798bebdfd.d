@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbr_cellular-c9b8010798bebdfd.d: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+/root/repo/target/release/deps/libhbr_cellular-c9b8010798bebdfd.rlib: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+/root/repo/target/release/deps/libhbr_cellular-c9b8010798bebdfd.rmeta: crates/cellular/src/lib.rs crates/cellular/src/bs.rs crates/cellular/src/config.rs crates/cellular/src/l3.rs crates/cellular/src/radio.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/bs.rs:
+crates/cellular/src/config.rs:
+crates/cellular/src/l3.rs:
+crates/cellular/src/radio.rs:

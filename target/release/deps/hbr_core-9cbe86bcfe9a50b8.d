@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hbr_core-9cbe86bcfe9a50b8.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs
+
+/root/repo/target/release/deps/libhbr_core-9cbe86bcfe9a50b8.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs
+
+/root/repo/target/release/deps/libhbr_core-9cbe86bcfe9a50b8.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/detector.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/fleet.rs crates/core/src/incentive.rs crates/core/src/monitor.rs crates/core/src/scheduler.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/detector.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/fleet.rs:
+crates/core/src/incentive.rs:
+crates/core/src/monitor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hbr_d2d-a7f519eca64d2685.d: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+/root/repo/target/release/deps/libhbr_d2d-a7f519eca64d2685.rlib: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+/root/repo/target/release/deps/libhbr_d2d-a7f519eca64d2685.rmeta: crates/d2d/src/lib.rs crates/d2d/src/group.rs crates/d2d/src/group_net.rs crates/d2d/src/link.rs crates/d2d/src/tech.rs
+
+crates/d2d/src/lib.rs:
+crates/d2d/src/group.rs:
+crates/d2d/src/group_net.rs:
+crates/d2d/src/link.rs:
+crates/d2d/src/tech.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hbr_energy-3932a03f0751810f.d: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+/root/repo/target/release/deps/libhbr_energy-3932a03f0751810f.rlib: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+/root/repo/target/release/deps/libhbr_energy-3932a03f0751810f.rmeta: crates/energy/src/lib.rs crates/energy/src/battery.rs crates/energy/src/meter.rs crates/energy/src/monitor.rs crates/energy/src/phase.rs crates/energy/src/profile.rs crates/energy/src/units.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/battery.rs:
+crates/energy/src/meter.rs:
+crates/energy/src/monitor.rs:
+crates/energy/src/phase.rs:
+crates/energy/src/profile.rs:
+crates/energy/src/units.rs:

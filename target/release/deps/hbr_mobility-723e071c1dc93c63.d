@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hbr_mobility-723e071c1dc93c63.d: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+/root/repo/target/release/deps/libhbr_mobility-723e071c1dc93c63.rlib: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+/root/repo/target/release/deps/libhbr_mobility-723e071c1dc93c63.rmeta: crates/mobility/src/lib.rs crates/mobility/src/field.rs crates/mobility/src/grid.rs crates/mobility/src/model.rs crates/mobility/src/position.rs crates/mobility/src/rssi.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/field.rs:
+crates/mobility/src/grid.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/position.rs:
+crates/mobility/src/rssi.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hbr_sim-850d535bfe8229fb.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libhbr_sim-850d535bfe8229fb.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libhbr_sim-850d535bfe8229fb.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/ids.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

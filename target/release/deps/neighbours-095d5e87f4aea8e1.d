@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neighbours-095d5e87f4aea8e1.d: crates/bench/benches/neighbours.rs
+
+/root/repo/target/release/deps/neighbours-095d5e87f4aea8e1: crates/bench/benches/neighbours.rs
+
+crates/bench/benches/neighbours.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -75,14 +75,21 @@ fn wandering_crowd_keeps_presence_through_rematching() {
 fn relay_stats_reflect_aggregation() {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(4 * 3600), 3);
     config.mode = Mode::D2dFramework;
-    for spec in FleetBuilder::new(8, 1).area_side_m(10.0).walker_share(0.0).build(3) {
+    for spec in FleetBuilder::new(8, 1)
+        .area_side_m(10.0)
+        .walker_share(0.0)
+        .build(3)
+    {
         config.add_device(spec);
     }
     let report = Scenario::new(config).run();
     let relay = &report.devices[0];
     assert_eq!(relay.role, Role::Relay);
     let batch = relay.mean_batch_size.expect("relay flushed at least once");
-    assert!(batch > 1.0, "aggregation means >1 heartbeat per flush, got {batch}");
+    assert!(
+        batch > 1.0,
+        "aggregation means >1 heartbeat per flush, got {batch}"
+    );
     let delay = relay
         .mean_queueing_delay_secs
         .expect("relay queued heartbeats");

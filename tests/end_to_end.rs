@@ -146,7 +146,10 @@ fn crowd_scenario_scales_and_wins() {
     };
     let fw = build(Mode::D2dFramework);
     let base = build(Mode::OriginalCellular);
-    assert!(fw.total_l3 * 2 <= base.total_l3 + base.total_l3 / 5, "crowd signaling reduction");
+    assert!(
+        fw.total_l3 * 2 <= base.total_l3 + base.total_l3 / 5,
+        "crowd signaling reduction"
+    );
     assert_eq!(fw.offline_secs, 0.0);
     let _ = bounds;
 }

@@ -34,7 +34,11 @@ fn conclusion_claim_worst_case_one_ue_still_halves_signaling() {
     // "in the worst situation where there is only one UE connected to the
     // relay, our framework can still reduce about 50% cellular signaling"
     let r = run(1, 1);
-    assert!((r.signaling_saving() - 0.5).abs() < 0.05, "{}", r.signaling_saving());
+    assert!(
+        (r.signaling_saving() - 0.5).abs() < 0.05,
+        "{}",
+        r.signaling_saving()
+    );
 }
 
 #[test]

@@ -52,7 +52,11 @@ fn build(world: &RandomWorld, mode: Mode) -> ScenarioReport {
     ];
     for i in 0..(world.relays + world.ues) {
         let (x, y) = world.positions[i % world.positions.len()];
-        let role = if i < world.relays { Role::Relay } else { Role::Ue };
+        let role = if i < world.relays {
+            Role::Relay
+        } else {
+            Role::Ue
+        };
         let app = apps[world.app_picks[i % world.app_picks.len()] as usize].clone();
         let battery = if world.dead_relay && i == 0 {
             Some(2.0)

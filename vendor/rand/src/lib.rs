@@ -1,0 +1,363 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real `rand` cannot be fetched from crates.io. This crate implements
+//! exactly the API subset the workspace consumes (see
+//! `crates/sim/src/rng.rs`): [`rngs::StdRng`], the [`Rng`], [`RngCore`]
+//! and [`SeedableRng`] traits, and uniform range sampling. The generator
+//! behind `StdRng` is xoshiro256++ seeded through splitmix64 — fast,
+//! high-quality and fully deterministic, though its stream differs from
+//! upstream `rand`'s ChaCha12 (nothing in the workspace depends on the
+//! upstream stream).
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (never produced by this stub).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core trait: a source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the standard (uniform) distribution.
+pub trait Standard: Sized {
+    /// Draws one standard sample from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod distributions {
+    //! Distribution machinery (uniform ranges only).
+
+    pub mod uniform {
+        //! Uniform sampling over ranges, mirroring `rand 0.8`'s traits.
+
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types with a uniform sampler.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Uniform sample from `[low, high)`.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+            /// Uniform sample from `[low, high]`.
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        }
+
+        /// Range types usable with [`Rng::gen_range`](crate::Rng::gen_range).
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// `true` if no value can be drawn.
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(rng, self.start, self.end)
+            }
+            fn is_empty(&self) -> bool {
+                matches!(
+                    self.start.partial_cmp(&self.end),
+                    None | Some(core::cmp::Ordering::Greater) | Some(core::cmp::Ordering::Equal)
+                )
+            }
+        }
+
+        impl<T: SampleUniform + Clone> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                T::sample_closed(rng, low, high)
+            }
+            fn is_empty(&self) -> bool {
+                matches!(
+                    self.start().partial_cmp(self.end()),
+                    None | Some(core::cmp::Ordering::Greater)
+                )
+            }
+        }
+
+        /// Unbiased integer in `[0, bound)` via Lemire's method.
+        fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+            if bound == 0 {
+                return rng.next_u64();
+            }
+            loop {
+                let x = rng.next_u64();
+                let m = (x as u128) * (bound as u128);
+                let low = m as u64;
+                if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $wide:ty),+ $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                        (low as $wide).wrapping_add(bounded_u64(rng, span) as $wide) as $t
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        (low as $wide).wrapping_add(bounded_u64(rng, span + 1) as $wide) as $t
+                    }
+                }
+            )+};
+        }
+
+        impl_uniform_int!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+        );
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty),+) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                        let v = low + (high - low) * unit;
+                        // Guard against rounding up to the open bound.
+                        if v >= high { low } else { v }
+                    }
+                    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                        low + (high - low) * unit
+                    }
+                }
+            )+};
+        }
+
+        impl_uniform_float!(f32, f64);
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.step().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+}
+
+// The prelude `rand` users commonly glob-import.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let inc: u64 = rng.gen_range(0..=5);
+            assert!(inc <= 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn closed_integer_covers_full_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Must not hang or panic on the maximal span.
+        let _ = u64::sample_closed(&mut rng, 0, u64::MAX);
+    }
+}

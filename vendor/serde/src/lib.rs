@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public model
+//! types as forward-looking decoration, but nothing serializes yet (no
+//! `serde_json` dependency, no trait bounds anywhere). With no network in
+//! the build container, this stub supplies the two marker traits and
+//! re-exports no-op derive macros so the `#[derive(...)]` attributes keep
+//! compiling. The day real serialization lands, replace this with the
+//! actual `serde` by restoring the crates.io dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that (will) support serialization.
+pub trait Serialize {}
+
+/// Marker for types that (will) support deserialization.
+pub trait Deserialize<'de> {}
+
+/// Marker for owned-deserializable types.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

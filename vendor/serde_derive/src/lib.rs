@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! The derives intentionally emit nothing: no code in the workspace
+//! requires `Serialize`/`Deserialize` impls yet, so an empty expansion
+//! keeps every `#[derive(Serialize, Deserialize)]` site compiling with
+//! zero parsing risk.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
