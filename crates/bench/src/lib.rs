@@ -25,7 +25,7 @@ use std::path::Path;
 
 pub mod sweep;
 
-pub use sweep::{derive_seed, run_sweep, sweep_threads};
+pub use sweep::{derive_seed, run_sweep, run_sweep_with_threads, sweep_threads};
 
 /// Prints a titled, column-aligned text table to stdout.
 ///

@@ -84,8 +84,29 @@ where
     R: Send,
     F: Fn(&P, &mut SimRng) -> R + Sync,
 {
+    run_sweep_with_threads(sweep_threads(), base_seed, points, worker)
+}
+
+/// [`run_sweep`] with an explicit thread count instead of the
+/// environment-derived [`sweep_threads`] default.
+///
+/// The reproducibility tests pin both ends of the range — the same
+/// faulted scenario at 1 thread and at N — and assert the outputs are
+/// byte-identical, which they must be since each point's result is a
+/// pure function of `(base_seed, index, point)`.
+pub fn run_sweep_with_threads<P, R, F>(
+    threads: usize,
+    base_seed: u64,
+    points: Vec<P>,
+    worker: F,
+) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, &mut SimRng) -> R + Sync,
+{
     let n = points.len();
-    let threads = sweep_threads().min(n.max(1));
+    let threads = threads.max(1).min(n.max(1));
     if threads <= 1 {
         return points
             .iter()

@@ -30,6 +30,22 @@ pub enum RrcState {
     CellFach,
 }
 
+impl RrcState {
+    /// `true` if a radio observed in `self` may legally be observed in
+    /// `next` some time later (§II-B state machine, under the lazy
+    /// accounting this module uses: several internal hops may collapse
+    /// into one observed step, e.g. DCH → FACH → IDLE between two
+    /// observations reads as DCH → IDLE).
+    ///
+    /// The single impossible observation is `Idle → CellFach`: FACH is
+    /// only reachable by demotion from DCH, and any activity from IDLE
+    /// promotes straight to DCH first — so an idle radio can never be
+    /// seen in FACH without an intervening DCH observation.
+    pub fn can_transition_to(self, next: RrcState) -> bool {
+        !matches!((self, next), (RrcState::Idle, RrcState::CellFach))
+    }
+}
+
 /// Energy segments and layer-3 messages produced by radio operations,
 /// stamped with absolute times.
 #[derive(Debug, Clone, Default)]
@@ -415,6 +431,37 @@ mod tests {
 
     fn radio() -> CellularRadio {
         CellularRadio::new(RrcConfig::wcdma_galaxy_s4())
+    }
+
+    #[test]
+    fn only_idle_to_fach_is_illegal() {
+        use RrcState::*;
+        for from in [Idle, CellDch, CellFach] {
+            for to in [Idle, CellDch, CellFach] {
+                let legal = from.can_transition_to(to);
+                assert_eq!(
+                    legal,
+                    !(from == Idle && to == CellFach),
+                    "{from:?} -> {to:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observed_states_follow_legal_transitions() {
+        // Drive a radio through a full cycle, observing at many instants;
+        // every consecutive pair of observations must be legal.
+        let mut r = radio();
+        let out = r.transmit(SimTime::from_secs(5), 74);
+        let mut prev = RrcState::Idle;
+        for s in 0..40 {
+            let at = out.delivered_at + SimDuration::from_millis(s * 500);
+            let state = r.state_at(at);
+            assert!(prev.can_transition_to(state), "{prev:?} -> {state:?}");
+            prev = state;
+        }
+        assert_eq!(prev, RrcState::Idle, "tails must have expired");
     }
 
     fn apply(meter: &mut EnergyMeter, activity: &RadioActivity) {

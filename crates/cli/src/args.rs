@@ -1,5 +1,8 @@
 //! Argument parsing for the `hbr` binary — std-only, no dependencies.
 
+use hbr_sim::fault::{FaultKind, FaultPlan};
+use hbr_sim::{DeviceId, SimDuration, SimTime};
+
 /// Printed on `hbr help` and on any parse error.
 pub const USAGE: &str = "\
 hbr — D2D heartbeat relaying framework (ICDCS'17 reproduction)
@@ -10,7 +13,21 @@ USAGE:
 
     hbr crowd [--phones N] [--relays N] [--hours H] [--area METRES]
               [--seed S] [--push-mins M] [--mode d2d|original|both]
+              [--faults SPEC] [--trace N]
         Run a crowd scenario and print the operator console.
+
+        --faults injects a deterministic fault schedule; SPEC is a
+        comma-separated list of events (times/durations in seconds,
+        devices by index):
+            outage@AT+DUR           cellular outage for everyone
+            blackout@AT+DUR         discovery blackout (no matching)
+            drop@AT+DUR:DEV         device's D2D link down for DUR
+            depart@AT+REJOIN:DEV    relay departs, back after REJOIN
+                                    (REJOIN 0 = never returns)
+            degrade@AT+DUR:DEV=P    link suffers extra loss P in [0,1]
+            loss@AT+DUR:DEV=P       payloads lost in transit w.p. P
+        --trace N keeps the last N trace entries and prints how many
+        were evicted.
 
     hbr strategies [--app wechat|qq|whatsapp|facebook] [--hours H] [--seed S]
         Compare every heartbeat strategy on one app's mixed workload.
@@ -46,6 +63,10 @@ pub enum Command {
         push_mins: u64,
         /// Which system(s) to run.
         mode: CrowdMode,
+        /// Deterministic fault schedule (empty = clean run).
+        faults: FaultPlan,
+        /// Trace ring-buffer capacity (0 disables tracing).
+        trace: usize,
     },
     /// The strategy comparison table.
     Strategies {
@@ -114,6 +135,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut seed = 7u64;
             let mut push_mins = 0u64;
             let mut mode = CrowdMode::Both;
+            let mut faults = FaultPlan::new();
+            let mut trace = 0usize;
             parse_flags(rest, |flag, value| match flag {
                 "--phones" => set(value, &mut phones),
                 "--relays" => set(value, &mut relays),
@@ -121,6 +144,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "--area" => set(value, &mut area),
                 "--seed" => set(value, &mut seed),
                 "--push-mins" => set(value, &mut push_mins),
+                "--trace" => set(value, &mut trace),
+                "--faults" => {
+                    faults = parse_fault_spec(value)?;
+                    Ok(())
+                }
                 "--mode" => {
                     mode = match value {
                         "d2d" => CrowdMode::D2d,
@@ -146,6 +174,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
                 push_mins,
                 mode,
+                faults,
+                trace,
             })
         }
         "strategies" => {
@@ -168,6 +198,87 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown subcommand {other}")),
     }
+}
+
+/// Parses a `--faults` spec (see [`USAGE`]) into a [`FaultPlan`].
+///
+/// Each comma-separated entry is `kind@AT+DUR[:DEV][=P]`; times and
+/// durations are whole seconds, `DEV` is the device's index in fleet
+/// order, `P` a probability in `[0, 1]`.
+pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (kind, rest) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("fault {entry} is missing an @time"))?;
+        // Peel the optional trailing pieces right to left: `=P`, `:DEV`.
+        let (rest, prob) = match rest.split_once('=') {
+            Some((head, p)) => {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("fault {entry}: cannot parse probability {p}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault {entry}: probability must be in [0, 1]"));
+                }
+                (head, Some(p))
+            }
+            None => (rest, None),
+        };
+        let (timing, device) = match rest.split_once(':') {
+            Some((head, dev)) => {
+                let dev: u32 = dev
+                    .parse()
+                    .map_err(|_| format!("fault {entry}: cannot parse device index {dev}"))?;
+                (head, Some(DeviceId::new(dev)))
+            }
+            None => (rest, None),
+        };
+        let (at, dur) = timing
+            .split_once('+')
+            .ok_or_else(|| format!("fault {entry} is missing a +duration"))?;
+        let at: u64 = at
+            .parse()
+            .map_err(|_| format!("fault {entry}: cannot parse time {at}"))?;
+        let dur: u64 = dur
+            .parse()
+            .map_err(|_| format!("fault {entry}: cannot parse duration {dur}"))?;
+        let at = SimTime::from_secs(at);
+        let duration = SimDuration::from_secs(dur);
+
+        let need_device = || device.ok_or_else(|| format!("fault {entry} needs a :device index"));
+        let kind = match kind {
+            "outage" => FaultKind::CellularOutage { duration },
+            "blackout" => FaultKind::DiscoveryBlackout { duration },
+            "drop" => FaultKind::LinkDrop {
+                device: need_device()?,
+                d2d_down_for: duration,
+            },
+            "depart" => FaultKind::RelayDeparture {
+                device: need_device()?,
+                rejoin_after: (dur > 0).then_some(duration),
+            },
+            "degrade" => FaultKind::LinkDegrade {
+                device: need_device()?,
+                extra_loss: prob
+                    .ok_or_else(|| format!("fault {entry} needs =P for the extra loss"))?,
+                duration,
+            },
+            "loss" => FaultKind::PayloadLoss {
+                device: need_device()?,
+                probability: prob
+                    .ok_or_else(|| format!("fault {entry} needs =P for the loss probability"))?,
+                duration,
+            },
+            other => {
+                return Err(format!(
+                    "unknown fault kind {other}; try outage, blackout, drop, depart, degrade, loss"
+                ))
+            }
+        };
+        plan.schedule(at, kind);
+    }
+    Ok(plan)
 }
 
 fn set<T: std::str::FromStr>(value: &str, slot: &mut T) -> Result<(), String> {
@@ -266,5 +377,68 @@ mod tests {
     fn help_parses() {
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn fault_spec_covers_every_kind() {
+        let plan = parse_fault_spec(
+            "outage@1800+120,blackout@3600+300,drop@2000+60:3,\
+             depart@1800+900:0,degrade@1000+600:2=0.9,loss@1000+600:2=0.5",
+        )
+        .unwrap();
+        assert_eq!(plan.events().len(), 6);
+        // Events come back sorted by time.
+        let times: Vec<u64> = plan
+            .events()
+            .iter()
+            .map(|e| e.at.saturating_since(SimTime::ZERO).as_secs())
+            .collect();
+        assert_eq!(times, vec![1000, 1000, 1800, 1800, 2000, 3600]);
+        assert!(plan.events().iter().any(|e| e.kind
+            == FaultKind::RelayDeparture {
+                device: DeviceId::new(0),
+                rejoin_after: Some(SimDuration::from_secs(900)),
+            }));
+        assert!(plan.events().iter().any(|e| e.kind
+            == FaultKind::LinkDrop {
+                device: DeviceId::new(3),
+                d2d_down_for: SimDuration::from_secs(60),
+            }));
+    }
+
+    #[test]
+    fn fault_spec_zero_rejoin_means_permanent_departure() {
+        let plan = parse_fault_spec("depart@100+0:1").unwrap();
+        assert_eq!(
+            plan.events()[0].kind,
+            FaultKind::RelayDeparture {
+                device: DeviceId::new(1),
+                rejoin_after: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fault_spec_errors_are_reported() {
+        assert!(parse_fault_spec("outage").is_err(), "missing @time");
+        assert!(parse_fault_spec("outage@100").is_err(), "missing +duration");
+        assert!(parse_fault_spec("drop@100+60").is_err(), "missing :device");
+        assert!(parse_fault_spec("degrade@100+60:2").is_err(), "missing =P");
+        assert!(parse_fault_spec("loss@100+60:2=1.5").is_err(), "P > 1");
+        assert!(parse_fault_spec("teleport@100+60").is_err(), "unknown kind");
+        assert!(parse_fault_spec("outage@ten+60").is_err(), "bad number");
+    }
+
+    #[test]
+    fn crowd_accepts_faults_and_trace() {
+        let cmd = parse(&argv("crowd --faults outage@1800+120 --trace 500")).unwrap();
+        match cmd {
+            Command::Crowd { faults, trace, .. } => {
+                assert_eq!(faults.events().len(), 1);
+                assert_eq!(trace, 500);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("crowd --faults nonsense")).is_err());
     }
 }

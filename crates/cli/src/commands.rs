@@ -7,6 +7,7 @@ use hbr_baseline::{
 use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
 use hbr_core::fleet::FleetBuilder;
 use hbr_core::world::{Mode, Scenario, ScenarioConfig, ScenarioReport};
+use hbr_sim::fault::FaultPlan;
 use hbr_sim::SimDuration;
 
 use crate::args::{Command, CrowdMode, USAGE};
@@ -28,7 +29,11 @@ pub fn run(command: Command) {
             seed,
             push_mins,
             mode,
-        } => crowd(phones, relays, hours, area, seed, push_mins, mode),
+            faults,
+            trace,
+        } => crowd(
+            phones, relays, hours, area, seed, push_mins, mode, faults, trace,
+        ),
         Command::Strategies { app, hours, seed } => strategies(&app, hours, seed),
     }
 }
@@ -69,6 +74,7 @@ fn quickstart(ues: usize, transmissions: u32, distance: f64) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_crowd(
     phones: usize,
     relays: usize,
@@ -77,9 +83,13 @@ fn build_crowd(
     seed: u64,
     push_mins: u64,
     mode: Mode,
+    faults: &FaultPlan,
+    trace: usize,
 ) -> ScenarioReport {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(hours * 3600), seed);
     config.mode = mode;
+    config.faults = faults.clone();
+    config.trace_capacity = trace;
     if push_mins > 0 {
         config.push_interval = Some(SimDuration::from_secs(push_mins * 60));
     }
@@ -92,6 +102,7 @@ fn build_crowd(
     Scenario::new(config).run()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn crowd(
     phones: usize,
     relays: usize,
@@ -100,8 +111,13 @@ fn crowd(
     seed: u64,
     push_mins: u64,
     mode: CrowdMode,
+    faults: FaultPlan,
+    trace: usize,
 ) {
     println!("crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n");
+    if !faults.is_empty() {
+        println!("fault plan: {} scheduled event(s)\n", faults.events().len());
+    }
     let runs: Vec<(&str, Mode)> = match mode {
         CrowdMode::D2d => vec![("d2d-framework", Mode::D2dFramework)],
         CrowdMode::Original => vec![("original", Mode::OriginalCellular)],
@@ -114,7 +130,9 @@ fn crowd(
     // sweep harness put each on its own core. Reports come back in run
     // order, keeping the printout identical to the sequential loop.
     let reports: Vec<ScenarioReport> = hbr_bench::run_sweep(seed, runs.clone(), |&(_, m), _| {
-        build_crowd(phones, relays, hours, area, seed, push_mins, m)
+        build_crowd(
+            phones, relays, hours, area, seed, push_mins, m, &faults, trace,
+        )
     });
     for ((name, _), report) in runs.iter().zip(&reports) {
         println!("── {name} ──");
@@ -195,6 +213,24 @@ mod tests {
             seed: 3,
             push_mins: 0,
             mode: CrowdMode::Both,
+            faults: FaultPlan::new(),
+            trace: 0,
+        });
+    }
+
+    #[test]
+    fn faulted_crowd_runs_with_trace() {
+        let faults = crate::args::parse_fault_spec("outage@600+120,blackout@1800+60").unwrap();
+        run(Command::Crowd {
+            phones: 6,
+            relays: 2,
+            hours: 1,
+            area: 15.0,
+            seed: 3,
+            push_mins: 0,
+            mode: CrowdMode::D2d,
+            faults,
+            trace: 200,
         });
     }
 

@@ -132,6 +132,13 @@ impl FeedbackTracker {
         self.pending.len()
     }
 
+    /// Ids of the forwards currently awaiting feedback — for
+    /// conservation audits (the invariant checker walks these at
+    /// scenario end).
+    pub fn pending_ids(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.pending.keys().copied()
+    }
+
     /// Forwards confirmed by relay feedback so far.
     pub fn confirmed(&self) -> u64 {
         self.confirmed

@@ -51,6 +51,7 @@ pub mod experiment;
 pub mod feedback;
 pub mod fleet;
 pub mod incentive;
+pub mod invariant;
 pub mod monitor;
 pub mod scheduler;
 pub mod world;
@@ -59,5 +60,6 @@ pub use config::FrameworkConfig;
 pub use detector::{D2dDetector, MatchDecision, RelayAdvert};
 pub use feedback::{FeedbackTracker, PendingForward};
 pub use incentive::RewardLedger;
+pub use invariant::{DeviceProbe, InvariantChecker};
 pub use monitor::MessageMonitor;
 pub use scheduler::{FlushReason, MessageScheduler, ScheduleDecision, SchedulerStats};

@@ -165,6 +165,12 @@ impl MessageScheduler {
         self.buffer.len()
     }
 
+    /// The buffered heartbeats, in arrival order — for conservation
+    /// audits (the invariant checker walks these at scenario end).
+    pub fn buffered(&self) -> impl Iterator<Item = &Heartbeat> {
+        self.buffer.iter().map(|(_, hb)| hb)
+    }
+
     /// `true` while the relay accepts forwarded heartbeats this period.
     pub fn is_collecting(&self) -> bool {
         self.collecting

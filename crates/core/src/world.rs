@@ -20,21 +20,25 @@
 //! * an [`ImServer`] per app checks the user-visible invariant: presence
 //!   never lapses.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
-use hbr_apps::{AppId, AppProfile, Heartbeat, HeartbeatSchedule, ImServer, MessageIdGen};
+use hbr_apps::{
+    AppId, AppProfile, Heartbeat, HeartbeatSchedule, ImServer, MessageId, MessageIdGen,
+};
 use hbr_cellular::{BaseStation, CellularRadio};
 use hbr_d2d::D2dLink;
 use hbr_energy::{Battery, EnergyMeter, MicroAmpHours, PhaseGroup, Segment};
 use hbr_mobility::{Field, Mobility, PathLoss};
+use hbr_sim::fault::{fault_stream_seed, FaultKind, FaultPlan};
 use hbr_sim::{DeviceId, SimDuration, SimRng, SimTime, Simulation, TraceEntry, Tracer};
 
 use crate::config::{FrameworkConfig, RadioStack};
 use crate::detector::{D2dDetector, MatchDecision, RelayAdvert};
 use crate::feedback::FeedbackTracker;
 use crate::incentive::RewardLedger;
+use crate::invariant::{self, DeviceProbe, InvariantChecker};
 use crate::monitor::MessageMonitor;
-use crate::scheduler::{MessageScheduler, ScheduleDecision};
+use crate::scheduler::{FlushReason, MessageScheduler, ScheduleDecision};
 
 /// A device's role in the framework (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,8 +98,31 @@ pub struct ScenarioConfig {
     /// attachment stays open (honest accounting; the paper's
     /// compressed-time bench omits it — see `ablation_idle`).
     pub bill_d2d_idle: bool,
+    /// Injected fault schedule (empty = a clean run). Faults execute
+    /// deterministically; their randomness comes from a dedicated
+    /// splitmix64-derived stream (see [`hbr_sim::fault`]).
+    pub faults: FaultPlan,
+    /// Run the [`InvariantChecker`] after every engine step. [`None`]
+    /// (the default) resolves via [`invariant::default_enabled`]: the
+    /// `HBR_CHECK_INVARIANTS` env var if set, else on in debug builds
+    /// (every workspace test) and off in release experiment binaries.
+    pub check_invariants: Option<bool>,
+    /// Deliberate misbehaviour for mutation smoke tests; never set this
+    /// outside tests that prove the checker catches a broken scheduler.
+    #[doc(hidden)]
+    pub mutation: Option<ChaosMutation>,
     /// The devices, in [`DeviceId`] order.
     pub devices: Vec<DeviceSpec>,
+}
+
+/// A deliberately broken implementation detail, injectable from tests to
+/// prove the invariant checker is live (mutation testing for the
+/// harness itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMutation {
+    /// Ignore Algorithm 1's capacity flush: the relay keeps pending past
+    /// `M`, so the scheduler-bound invariant must trip.
+    IgnoreCapacityFlush,
 }
 
 impl ScenarioConfig {
@@ -112,6 +139,9 @@ impl ScenarioConfig {
             push_interval: None,
             trace_capacity: 0,
             bill_d2d_idle: true,
+            faults: FaultPlan::new(),
+            check_invariants: None,
+            mutation: None,
             devices: Vec::new(),
         }
     }
@@ -181,6 +211,9 @@ pub struct ScenarioReport {
     /// Execution trace (empty unless [`ScenarioConfig::trace_capacity`]
     /// was set).
     pub trace: Vec<TraceEntry>,
+    /// Trace entries evicted because the ring filled (0 = the trace is
+    /// complete).
+    pub trace_dropped: u64,
 }
 
 impl ScenarioReport {
@@ -214,6 +247,14 @@ impl ScenarioReport {
             );
         }
         let _ = writeln!(out, "offline          : {:.0} s", self.offline_secs);
+        if !self.trace.is_empty() || self.trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "trace            : {} entries kept, {} evicted",
+                self.trace.len(),
+                self.trace_dropped
+            );
+        }
         for dev in self.devices.iter().filter(|d| d.role == Role::Relay) {
             let _ = writeln!(
                 out,
@@ -245,6 +286,12 @@ enum Event {
     LinkReady { device: usize },
     /// The IM server has a mobile-terminated push for this session.
     PushDue { device: usize, app_idx: usize },
+    /// The indexed entry of the configured [`FaultPlan`] fires.
+    FaultDue { index: usize },
+    /// A cellular outage window may be over; drain the queue.
+    OutageOver,
+    /// A departed relay returns to service.
+    RelayRejoin { device: usize },
 }
 
 struct Device {
@@ -274,6 +321,19 @@ struct Device {
     pending_until_ready: Vec<Heartbeat>,
     forwards: u64,
     fallbacks: u64,
+    // Fault state.
+    /// Relay has left the system (fault-injected churn).
+    departed: bool,
+    /// The device's D2D radio is unusable until this instant.
+    d2d_down_until: SimTime,
+    /// Link transfers carry an interference penalty until this instant.
+    degraded_until: SimTime,
+    /// The penalty applied while degraded.
+    degrade_loss: f64,
+    /// Forwarded payloads are at risk until this instant.
+    payload_loss_until: SimTime,
+    /// Per-transfer loss probability while the payload window lasts.
+    payload_loss_p: f64,
 }
 
 impl Device {
@@ -324,6 +384,23 @@ pub struct Scenario {
     pushes_delivered: u64,
     pushes_missed: u64,
     tracer: Tracer,
+    // Fault machinery (tentpole of the chaos harness).
+    /// Dedicated randomness for fault execution, seeded independently of
+    /// every other stream so clean runs are byte-identical to pre-fault
+    /// builds.
+    fault_rng: SimRng,
+    /// The cellular uplink is down for everyone until this instant.
+    outage_until: SimTime,
+    /// The no-silent-lapse invariant is suspended until this instant
+    /// (outage end + longest expiration: sessions legally re-converge).
+    outage_grace_until: SimTime,
+    /// Discovery is dark for everyone until this instant.
+    blackout_until: SimTime,
+    /// Heartbeats awaiting the end of a cellular outage.
+    outage_queue: Vec<(usize, Heartbeat)>,
+    /// The longest app expiration in the scenario (grace sizing).
+    max_expiration: SimDuration,
+    checker: InvariantChecker,
 }
 
 impl Scenario {
@@ -395,6 +472,12 @@ impl Scenario {
                 pending_until_ready: Vec::new(),
                 forwards: 0,
                 fallbacks: 0,
+                departed: false,
+                d2d_down_until: SimTime::ZERO,
+                degraded_until: SimTime::ZERO,
+                degrade_loss: 0.0,
+                payload_loss_until: SimTime::ZERO,
+                payload_loss_p: 0.0,
             });
         }
 
@@ -406,6 +489,17 @@ impl Scenario {
         let cellular_uah_per_hb = config.stack.cellular.full_cycle_charge_uah(74);
         let reward = config.framework.reward_per_heartbeat;
         let trace_capacity = config.trace_capacity;
+        let fault_rng = SimRng::seed_from(fault_stream_seed(config.seed));
+        let max_expiration = config
+            .devices
+            .iter()
+            .flat_map(|spec| spec.apps.iter())
+            .map(|app| app.expiration)
+            .max()
+            .unwrap_or(SimDuration::from_secs(810));
+        let check = config
+            .check_invariants
+            .unwrap_or_else(invariant::default_enabled);
 
         let mut world = Scenario {
             config,
@@ -422,7 +516,18 @@ impl Scenario {
             pushes_delivered: 0,
             pushes_missed: 0,
             tracer: Tracer::with_capacity(trace_capacity),
+            fault_rng,
+            outage_until: SimTime::ZERO,
+            outage_grace_until: SimTime::ZERO,
+            blackout_until: SimTime::ZERO,
+            outage_queue: Vec::new(),
+            max_expiration,
+            checker: InvariantChecker::new(check),
         };
+
+        for (index, fault) in world.config.faults.events().iter().enumerate() {
+            world.sim.schedule_at(fault.at, Event::FaultDue { index });
+        }
 
         // Register sessions as online at t = 0 and schedule first beats.
         for i in 0..world.devices.len() {
@@ -453,6 +558,9 @@ impl Scenario {
         let end = SimTime::ZERO + self.config.duration;
         while let Some(fired) = self.sim.pop_until(end) {
             self.handle(fired.time, fired.event);
+            if self.checker.enabled() {
+                self.check_invariants(fired.time);
+            }
         }
         self.finish(end)
     }
@@ -468,6 +576,216 @@ impl Scenario {
             Event::FeedbackSweep { device } => self.on_feedback_sweep(now, device),
             Event::LinkReady { device } => self.on_link_ready(now, device),
             Event::PushDue { device, app_idx } => self.on_push_due(now, device, app_idx),
+            Event::FaultDue { index } => self.on_fault(now, index),
+            Event::OutageOver => self.drain_outage_queue(now),
+            Event::RelayRejoin { device } => self.on_relay_rejoin(now, device),
+        }
+    }
+
+    /// Runs the per-step invariant pass: probes every device and feeds
+    /// the checker. Pure observation — no RNG draws, no report changes.
+    fn check_invariants(&mut self, now: SimTime) {
+        for i in 0..self.devices.len() {
+            let probe = {
+                let dev = &self.devices[i];
+                let online = dev.schedules.iter().all(|schedule| {
+                    let app = schedule.app().id;
+                    self.servers
+                        .get(&app)
+                        .map(|s| s.is_online(dev.id, app, now))
+                        .unwrap_or(true)
+                });
+                DeviceProbe {
+                    device: dev.id,
+                    alive: dev.is_alive(),
+                    buffered: dev.scheduler.as_ref().map(|s| s.collected()).unwrap_or(0),
+                    capacity: dev
+                        .scheduler
+                        .as_ref()
+                        .map(|s| s.capacity())
+                        .unwrap_or(usize::MAX),
+                    energy_uah: dev.meter.total().as_micro_amp_hours(),
+                    battery_remaining_uah: dev.battery.map(|b| b.remaining().as_micro_amp_hours()),
+                    rrc: dev.radio.state_at(now),
+                    online,
+                    offline_exempt: now < self.outage_grace_until,
+                }
+            };
+            self.checker.check_device(now, i, &probe, &self.tracer);
+        }
+    }
+
+    /// Applies the indexed [`FaultPlan`] entry.
+    fn on_fault(&mut self, now: SimTime, index: usize) {
+        let fault = self.config.faults.events()[index];
+        match fault.kind {
+            FaultKind::LinkDrop {
+                device,
+                d2d_down_for,
+            } => {
+                let idx = device.index() as usize;
+                self.tracer.record(
+                    now,
+                    "fault",
+                    format!("{device} D2D radio down for {d2d_down_for}"),
+                );
+                let until = now + d2d_down_for;
+                let dev = &mut self.devices[idx];
+                dev.d2d_down_until = dev.d2d_down_until.max(until);
+                match self.devices[idx].role {
+                    Role::Ue => self.drop_ue_link(now, idx),
+                    Role::Relay => self.detach_all_members(now, idx),
+                }
+            }
+            FaultKind::LinkDegrade {
+                device,
+                extra_loss,
+                duration,
+            } => {
+                let idx = device.index() as usize;
+                self.tracer.record(
+                    now,
+                    "fault",
+                    format!("{device} link degrades (+{extra_loss:.2} loss) for {duration}"),
+                );
+                let dev = &mut self.devices[idx];
+                dev.degraded_until = dev.degraded_until.max(now + duration);
+                dev.degrade_loss = extra_loss.clamp(0.0, 1.0);
+            }
+            FaultKind::RelayDeparture {
+                device,
+                rejoin_after,
+            } => {
+                let idx = device.index() as usize;
+                if self.devices[idx].role != Role::Relay || self.devices[idx].departed {
+                    return;
+                }
+                self.tracer
+                    .record(now, "fault", format!("relay {device} departs"));
+                self.devices[idx].departed = true;
+                self.detach_all_members(now, idx);
+                // Its collected batch leaves with it; the sources'
+                // feedback timers rescue those heartbeats (§III-A).
+                let dropped = self.devices[idx]
+                    .scheduler
+                    .as_mut()
+                    .expect("relay has a scheduler")
+                    .take_batch();
+                if !dropped.is_empty() {
+                    self.tracer.record(
+                        now,
+                        "fault",
+                        format!("{} buffered heartbeats leave with {device}", dropped.len()),
+                    );
+                }
+                // The departed phone still keeps its *own* presence alive
+                // over its cellular radio.
+                let own = std::mem::take(&mut self.devices[idx].own_pending);
+                for hb in own {
+                    self.send_cellular(now, idx, hb);
+                }
+                if let Some(after) = rejoin_after {
+                    self.sim
+                        .schedule_at(now + after, Event::RelayRejoin { device: idx });
+                }
+            }
+            FaultKind::DiscoveryBlackout { duration } => {
+                self.tracer
+                    .record(now, "fault", format!("discovery blackout for {duration}"));
+                self.blackout_until = self.blackout_until.max(now + duration);
+            }
+            FaultKind::CellularOutage { duration } => {
+                self.tracer
+                    .record(now, "fault", format!("cellular outage for {duration}"));
+                self.outage_until = self.outage_until.max(now + duration);
+                self.outage_grace_until = self
+                    .outage_grace_until
+                    .max(self.outage_until + self.max_expiration);
+                self.sim.schedule_at(self.outage_until, Event::OutageOver);
+            }
+            FaultKind::PayloadLoss {
+                device,
+                probability,
+                duration,
+            } => {
+                let idx = device.index() as usize;
+                self.tracer.record(
+                    now,
+                    "fault",
+                    format!("{device} payloads at {probability:.2} risk for {duration}"),
+                );
+                let dev = &mut self.devices[idx];
+                dev.payload_loss_until = dev.payload_loss_until.max(now + duration);
+                dev.payload_loss_p = probability.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Tears down a UE's attachment (fault path) and reroutes anything
+    /// queued behind the link to cellular.
+    fn drop_ue_link(&mut self, now: SimTime, device: usize) {
+        if self.devices[device].attached_to.is_some() || self.devices[device].link.is_some() {
+            self.detach_ue(device, now);
+        }
+        let pending = std::mem::take(&mut self.devices[device].pending_until_ready);
+        for hb in pending {
+            self.send_cellular(now, device, hb);
+        }
+    }
+
+    /// Drops every member currently attached to a relay.
+    fn detach_all_members(&mut self, now: SimTime, relay_idx: usize) {
+        let members: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| self.devices[i].attached_to == Some(relay_idx))
+            .collect();
+        for member in members {
+            self.drop_ue_link(now, member);
+        }
+    }
+
+    fn on_relay_rejoin(&mut self, now: SimTime, device: usize) {
+        if !self.devices[device].departed {
+            return;
+        }
+        self.devices[device].departed = false;
+        self.tracer.record(
+            now,
+            "fault",
+            format!("relay {} rejoins", self.devices[device].id),
+        );
+        // Collection restarts at its next own heartbeat (begin_period).
+    }
+
+    /// Delivers everything a cellular outage queued, once it is over.
+    fn drain_outage_queue(&mut self, now: SimTime) {
+        if now < self.outage_until {
+            return; // a longer overlapping outage superseded this one
+        }
+        let queued = std::mem::take(&mut self.outage_queue);
+        if queued.is_empty() {
+            return;
+        }
+        self.tracer.record(
+            now,
+            "outage",
+            format!("cell back: draining {} queued heartbeats", queued.len()),
+        );
+        for (device, hb) in queued {
+            let src = hb.source.index() as usize;
+            let relayed = src != device;
+            if !self.devices[device].is_alive() {
+                // Lost at a device that died during the outage. A relayed
+                // copy still has the source's feedback timer as rescue;
+                // the device's own heartbeat dies with it.
+                if !relayed {
+                    self.checker.on_dropped_dead(&hb);
+                }
+                continue;
+            }
+            if relayed {
+                self.devices[src].feedback.on_delivered(vec![hb.id]);
+            }
+            self.send_cellular(now, device, hb);
         }
     }
 
@@ -490,7 +808,7 @@ impl Scenario {
             .get(&app)
             .map(|s| s.is_online(id, app, now))
             .unwrap_or(false);
-        if !online || !self.devices[device].is_alive() {
+        if !online || !self.devices[device].is_alive() || now < self.outage_until {
             self.pushes_missed += 1;
             return;
         }
@@ -514,6 +832,7 @@ impl Scenario {
         if !self.devices[device].is_alive() {
             return; // dead devices emit nothing
         }
+        self.checker.on_emitted(&hb);
 
         match (self.config.mode, self.devices[device].role) {
             (Mode::OriginalCellular, _) => self.send_cellular(now, device, hb),
@@ -526,6 +845,12 @@ impl Scenario {
     /// is *delayed* up to `T` and flushed together with the collected
     /// batch.
     fn on_relay_own_heartbeat(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        if self.devices[device].departed {
+            // A departed relay aggregates nothing but still keeps its
+            // own presence alive over its cellular radio.
+            self.send_cellular(now, device, hb);
+            return;
+        }
         if !self.devices[device]
             .scheduler
             .as_ref()
@@ -576,6 +901,16 @@ impl Scenario {
         };
         let hb = intercepted.heartbeat;
 
+        if now < self.devices[device].d2d_down_until {
+            // Fault window: the D2D radio is down; everything rides the
+            // cellular fallback until it recovers.
+            if self.devices[device].attached_to.is_some() {
+                self.detach_ue(device, now);
+            }
+            self.send_cellular(now, device, hb);
+            return;
+        }
+
         // Already attached with a live link?
         if let Some(relay_idx) = self.devices[device].attached_to {
             let relay_period = self.devices[relay_idx]
@@ -617,6 +952,13 @@ impl Scenario {
     }
 
     fn match_and_forward(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
+        if now < self.blackout_until {
+            // Discovery is dark: no rematching, but the cellular path
+            // still carries the heartbeat (existing attachments are
+            // unaffected — they skip this function entirely).
+            self.send_cellular(now, device, hb);
+            return;
+        }
         self.field.advance_to(now, &mut self.rng);
         let Some(ue_pos) = self.field.position(self.devices[device].id) else {
             self.send_cellular(now, device, hb);
@@ -641,7 +983,9 @@ impl Scenario {
         let adverts: Vec<RelayAdvert> = in_range
             .into_iter()
             .map(|i| &self.devices[i])
-            .filter(|d| d.role == Role::Relay && d.is_alive())
+            .filter(|d| {
+                d.role == Role::Relay && d.is_alive() && !d.departed && now >= d.d2d_down_until
+            })
             .filter_map(|d| {
                 let scheduler = d.scheduler.as_ref()?;
                 let position = self.field.position(d.id)?;
@@ -754,9 +1098,17 @@ impl Scenario {
             .unwrap_or(f64::INFINITY);
         let relay_alive = self.devices[relay_idx].is_alive();
 
-        let outcome = {
+        let mut outcome = {
             let dev = &mut self.devices[device];
             let link = dev.link.as_mut().expect("attached UE has a link");
+            // Interference fault window: raise (or restore) the link's
+            // loss model. The healthy path makes the same single RNG
+            // draw, so fault windows never shift the main streams.
+            if now < dev.degraded_until {
+                link.degrade(dev.degrade_loss);
+            } else if link.extra_loss() > 0.0 {
+                link.clear_degrade();
+            }
             let mut outcome = link.transfer(now, hb.size, distance, &mut dev.rng);
             if !relay_alive {
                 // A dead relay never receives; the sender still paid.
@@ -765,6 +1117,18 @@ impl Scenario {
             }
             outcome
         };
+
+        // Payload-loss fault window: the extra draw comes from the
+        // dedicated fault stream, which clean runs never consume.
+        if outcome.success && now < self.devices[device].payload_loss_until {
+            let p = self.devices[device].payload_loss_p;
+            if self.fault_rng.chance(p) {
+                outcome.success = false;
+                outcome.receiver.segments.clear();
+                self.tracer
+                    .record(now, "fault", format!("{} payload lost in transit", hb.id));
+            }
+        }
 
         let sender_segments = outcome.sender.segments.clone();
         self.apply_activity(device, &sender_segments);
@@ -788,11 +1152,16 @@ impl Scenario {
 
         self.apply_activity(relay_idx, &outcome.receiver.segments);
         let arrival = outcome.completed_at;
-        let decision = self.devices[relay_idx]
+        let mut decision = self.devices[relay_idx]
             .scheduler
             .as_mut()
             .expect("relay has a scheduler")
             .on_arrival(arrival, hb);
+        if self.config.mutation == Some(ChaosMutation::IgnoreCapacityFlush)
+            && decision == ScheduleDecision::Flush(FlushReason::CapacityReached)
+        {
+            decision = ScheduleDecision::Pend;
+        }
         self.devices[relay_idx].collected_total += 1;
         match decision {
             ScheduleDecision::Pend => {
@@ -839,6 +1208,25 @@ impl Scenario {
         if batch.is_empty() && own.is_empty() {
             return;
         }
+        if now < self.outage_until {
+            // The cell is down: the flush cannot leave the relay. Queue
+            // every heartbeat for the post-outage drain (which also
+            // confirms the sources' feedback then).
+            self.tracer.record(
+                now,
+                "outage",
+                format!(
+                    "{} queues flush of {} + {} until the cell returns",
+                    self.devices[device].id,
+                    batch.len(),
+                    own.len()
+                ),
+            );
+            for hb in batch.into_iter().chain(own) {
+                self.outage_queue.push((device, hb));
+            }
+            return;
+        }
         let bytes: usize = batch.iter().chain(own.iter()).map(|h| h.size).sum();
         self.tracer.record(
             now,
@@ -865,8 +1253,13 @@ impl Scenario {
         // Deliver to the IM servers and send feedback to the source UEs.
         let mut by_source: BTreeMap<DeviceId, Vec<hbr_apps::MessageId>> = BTreeMap::new();
         for hb in batch.iter().chain(own.iter()) {
-            if let Some(server) = self.servers.get_mut(&hb.app) {
-                server.deliver(hb, delivered_at);
+            let accepted = self
+                .servers
+                .get_mut(&hb.app)
+                .map(|server| server.deliver(hb, delivered_at));
+            if let Some(accepted) = accepted {
+                self.checker
+                    .on_delivery(hb, delivered_at, accepted, &self.tracer);
             }
             by_source.entry(hb.source).or_default().push(hb.id);
         }
@@ -898,14 +1291,35 @@ impl Scenario {
     /// baseline mode and every fallback path.
     fn send_cellular(&mut self, now: SimTime, device: usize, hb: Heartbeat) {
         if !self.devices[device].is_alive() {
+            // The heartbeat dies with the device — the one legal way a
+            // message disappears; tell the ledger so conservation holds.
+            self.checker.on_dropped_dead(&hb);
+            return;
+        }
+        if now < self.outage_until {
+            // Cellular outage fault window: queue for the drain.
+            self.tracer.record(
+                now,
+                "outage",
+                format!(
+                    "{} queues {} until the cell returns",
+                    self.devices[device].id, hb.id
+                ),
+            );
+            self.outage_queue.push((device, hb));
             return;
         }
         let out = self.devices[device].radio.transmit(now, hb.size);
         self.apply_activity(device, &out.activity.segments);
         self.bs
             .record(self.devices[device].id, &out.activity, out.rrc_connections);
-        if let Some(server) = self.servers.get_mut(&hb.app) {
-            server.deliver(&hb, out.delivered_at);
+        let accepted = self
+            .servers
+            .get_mut(&hb.app)
+            .map(|server| server.deliver(&hb, out.delivered_at));
+        if let Some(accepted) = accepted {
+            self.checker
+                .on_delivery(&hb, out.delivered_at, accepted, &self.tracer);
         }
     }
 
@@ -993,6 +1407,23 @@ impl Scenario {
             self.bs.record(id, &tail, 0);
         }
 
+        // Conservation audit: every heartbeat the checker still has
+        // in-flight must be parked in some legitimate buffer at the
+        // horizon — anything else was silently lost.
+        if self.checker.enabled() {
+            let mut surviving: HashSet<MessageId> = HashSet::new();
+            for dev in &self.devices {
+                if let Some(scheduler) = dev.scheduler.as_ref() {
+                    surviving.extend(scheduler.buffered().map(|hb| hb.id));
+                }
+                surviving.extend(dev.own_pending.iter().map(|hb| hb.id));
+                surviving.extend(dev.pending_until_ready.iter().map(|hb| hb.id));
+                surviving.extend(dev.feedback.pending_ids());
+            }
+            surviving.extend(self.outage_queue.iter().map(|(_, hb)| hb.id));
+            self.checker.on_finish(&surviving, &self.tracer);
+        }
+
         let mut delivered = 0;
         let mut rejected = 0;
         let mut duplicates = 0;
@@ -1071,6 +1502,7 @@ impl Scenario {
             pushes_missed: self.pushes_missed,
             total_energy_uah,
             trace: self.tracer.iter().cloned().collect(),
+            trace_dropped: self.tracer.dropped(),
         }
     }
 }

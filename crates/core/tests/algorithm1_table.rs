@@ -1,0 +1,314 @@
+//! Table-driven coverage of Algorithm 1's three flush conditions.
+//!
+//! The paper's pend condition is `k < M && t − t_k < T_k && t < T`
+//! (§III-C): keep buffering while the buffer is under capacity `M`, no
+//! collected heartbeat is within `margin` of its expiration `T_k`, and
+//! the relay period `T` has not elapsed. Each table row drives one exact
+//! boundary of one clause — one tick early must pend, the boundary tick
+//! itself must flush with the right [`FlushReason`] — plus the
+//! `without_expiry_guard` ablation and the priority between reasons when
+//! two conditions coincide.
+
+use hbr_apps::{AppId, Heartbeat, MessageIdGen};
+use hbr_core::{FlushReason, MessageScheduler, ScheduleDecision};
+use hbr_sim::{DeviceId, SimDuration, SimTime};
+
+const PERIOD: u64 = 270;
+const MARGIN: u64 = 5;
+
+fn hb(ids: &mut MessageIdGen, created_s: u64, expires_s: u64) -> Heartbeat {
+    Heartbeat {
+        id: ids.next_id(),
+        app: AppId::new(0),
+        source: DeviceId::new(1),
+        seq: 0,
+        size: 74,
+        created_at: SimTime::from_secs(created_s),
+        expires_at: SimTime::from_secs(expires_s),
+    }
+}
+
+fn scheduler(capacity: usize) -> MessageScheduler {
+    MessageScheduler::new(
+        capacity,
+        SimDuration::from_secs(PERIOD),
+        SimDuration::from_secs(MARGIN),
+        SimTime::ZERO,
+    )
+}
+
+/// One arrival in a scripted scenario: hand the scheduler a heartbeat at
+/// `at` expiring at `expires`, and demand this decision back.
+struct Arrival {
+    at: u64,
+    expires: u64,
+    expect: ScheduleDecision,
+}
+
+/// One table row: a capacity, an arrival script, then a `flush_due`
+/// probe at `probe_at` expecting `probe_expect`.
+struct Case {
+    name: &'static str,
+    capacity: usize,
+    without_guard: bool,
+    arrivals: &'static [Arrival],
+    probe_at: u64,
+    probe_expect: Option<FlushReason>,
+}
+
+const FAR: u64 = 10_000; // an expiry that never interferes
+
+const CASES: &[Case] = &[
+    Case {
+        name: "capacity: M-1 arrivals pend, the M-th flushes",
+        capacity: 3,
+        without_guard: false,
+        arrivals: &[
+            Arrival {
+                at: 10,
+                expires: FAR,
+                expect: ScheduleDecision::Pend,
+            },
+            Arrival {
+                at: 20,
+                expires: FAR,
+                expect: ScheduleDecision::Pend,
+            },
+            Arrival {
+                at: 30,
+                expires: FAR,
+                expect: ScheduleDecision::Flush(FlushReason::CapacityReached),
+            },
+        ],
+        probe_at: 30,
+        probe_expect: None, // flush_due never reports capacity; arrival does
+    },
+    Case {
+        name: "expiry: margin boundary is inclusive (now + margin == T_k flushes)",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: 100,
+            expect: ScheduleDecision::Pend,
+        }],
+        // 95 + margin 5 == 100 exactly: the boundary tick must fire.
+        probe_at: 95,
+        probe_expect: Some(FlushReason::ExpirationImminent),
+    },
+    Case {
+        name: "expiry: one tick before the margin boundary pends",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: 100,
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: 94,
+        probe_expect: None,
+    },
+    Case {
+        name: "expiry: arrival already inside the margin flushes immediately",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 98,
+            expires: 100,
+            expect: ScheduleDecision::Flush(FlushReason::ExpirationImminent),
+        }],
+        probe_at: 98,
+        probe_expect: Some(FlushReason::ExpirationImminent),
+    },
+    Case {
+        name: "period: boundary is inclusive (now == period_start + T flushes)",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: FAR,
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: PERIOD,
+        probe_expect: Some(FlushReason::PeriodElapsed),
+    },
+    Case {
+        name: "period: one tick before the period deadline pends",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: FAR,
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: PERIOD - 1,
+        probe_expect: None,
+    },
+    Case {
+        name: "period: empty buffer still flushes at the period deadline",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[],
+        probe_at: PERIOD,
+        probe_expect: Some(FlushReason::PeriodElapsed),
+    },
+    Case {
+        name: "ablation: without_expiry_guard ignores the margin boundary",
+        capacity: 10,
+        without_guard: true,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: 100,
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: 95,
+        probe_expect: None,
+    },
+    Case {
+        name: "ablation: without_expiry_guard still honours the period",
+        capacity: 10,
+        without_guard: true,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: 100,
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: PERIOD,
+        probe_expect: Some(FlushReason::PeriodElapsed),
+    },
+    Case {
+        name: "ablation: without_expiry_guard still flushes on capacity",
+        capacity: 2,
+        without_guard: true,
+        arrivals: &[
+            Arrival {
+                at: 10,
+                expires: 100,
+                expect: ScheduleDecision::Pend,
+            },
+            Arrival {
+                at: 20,
+                expires: 100,
+                expect: ScheduleDecision::Flush(FlushReason::CapacityReached),
+            },
+        ],
+        probe_at: 20,
+        probe_expect: None,
+    },
+    Case {
+        name: "priority: capacity beats expiration when both hold on arrival",
+        capacity: 1,
+        without_guard: false,
+        arrivals: &[Arrival {
+            // Fills the buffer to M = 1 *and* is already inside the
+            // margin; on_arrival checks capacity first.
+            at: 98,
+            expires: 100,
+            expect: ScheduleDecision::Flush(FlushReason::CapacityReached),
+        }],
+        probe_at: 98,
+        probe_expect: Some(FlushReason::ExpirationImminent),
+    },
+    Case {
+        name: "priority: period beats expiration when flush_due sees both",
+        capacity: 10,
+        without_guard: false,
+        arrivals: &[Arrival {
+            at: 10,
+            expires: PERIOD + 2, // margin boundary at PERIOD − 3 < probe
+            expect: ScheduleDecision::Pend,
+        }],
+        probe_at: PERIOD,
+        probe_expect: Some(FlushReason::PeriodElapsed),
+    },
+];
+
+#[test]
+fn algorithm1_flush_table() {
+    for case in CASES {
+        let mut s = scheduler(case.capacity);
+        if case.without_guard {
+            s = s.without_expiry_guard();
+        }
+        let mut ids = MessageIdGen::new();
+        for arrival in case.arrivals {
+            let got = s.on_arrival(
+                SimTime::from_secs(arrival.at),
+                hb(&mut ids, arrival.at, arrival.expires),
+            );
+            assert_eq!(
+                got, arrival.expect,
+                "{}: arrival at t={} expected {:?}, got {:?}",
+                case.name, arrival.at, arrival.expect, got
+            );
+        }
+        let got = s.flush_due(SimTime::from_secs(case.probe_at));
+        assert_eq!(
+            got, case.probe_expect,
+            "{}: flush_due at t={} expected {:?}, got {:?}",
+            case.name, case.probe_at, case.probe_expect, got
+        );
+    }
+}
+
+#[test]
+fn literal_algorithm1_agrees_with_flush_due_at_zero_margin() {
+    // `algorithm1_pending` is the paper's condition verbatim, which has
+    // no delivery margin; with margin 0 the event-driven `flush_due`
+    // must agree with it tick for tick across every boundary.
+    let mut ids = MessageIdGen::new();
+    for expires in [100u64, PERIOD, PERIOD + 50] {
+        let mut s = MessageScheduler::new(
+            10,
+            SimDuration::from_secs(PERIOD),
+            SimDuration::ZERO,
+            SimTime::ZERO,
+        );
+        s.on_arrival(SimTime::from_secs(10), hb(&mut ids, 10, expires));
+        for probe in [50, expires - 1, expires, PERIOD - 1, PERIOD, PERIOD + 1] {
+            let now = SimTime::from_secs(probe);
+            assert_eq!(
+                s.algorithm1_pending(now),
+                s.flush_due(now).is_none(),
+                "literal Algorithm 1 disagrees with flush_due at t={probe} (expiry {expires})"
+            );
+        }
+    }
+}
+
+#[test]
+fn flush_boundary_is_exact_to_the_microsecond() {
+    // The margin comparison is `now + margin >= expires` over SimTime's
+    // full microsecond resolution, not whole seconds: one tick under the
+    // boundary still pends.
+    let mut s = scheduler(10);
+    let mut ids = MessageIdGen::new();
+    s.on_arrival(SimTime::from_secs(10), hb(&mut ids, 10, 100));
+    let boundary = SimTime::from_secs(95);
+    let just_before = SimTime::ZERO
+        + boundary
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(SimDuration::from_micros(1));
+    assert_eq!(s.flush_due(just_before), None);
+    assert_eq!(s.flush_due(boundary), Some(FlushReason::ExpirationImminent));
+}
+
+#[test]
+fn next_deadline_matches_the_firing_boundary() {
+    // next_deadline is where the engine schedules its flush event; the
+    // scheduler must actually fire there and not one tick earlier.
+    let mut s = scheduler(10);
+    let mut ids = MessageIdGen::new();
+    s.on_arrival(SimTime::from_secs(10), hb(&mut ids, 10, 120));
+    let deadline = s.next_deadline();
+    assert_eq!(deadline, SimTime::from_secs(115));
+    let just_before = SimTime::ZERO
+        + deadline
+            .saturating_since(SimTime::ZERO)
+            .saturating_sub(SimDuration::from_micros(1));
+    assert_eq!(s.flush_due(just_before), None, "must not fire early");
+    assert!(
+        s.flush_due(deadline).is_some(),
+        "must fire at its own deadline"
+    );
+}

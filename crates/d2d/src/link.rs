@@ -60,6 +60,9 @@ pub struct TransferOutcome {
 pub struct D2dLink {
     tech: TechProfile,
     state: LinkState,
+    /// Interference penalty: extra loss probability added to the
+    /// distance model while a fault window degrades this link.
+    extra_loss: f64,
     transfers_ok: u64,
     transfers_failed: u64,
 }
@@ -83,6 +86,7 @@ impl D2dLink {
             D2dLink {
                 tech,
                 state: LinkState::Establishing { ready_at },
+                extra_loss: 0.0,
                 transfers_ok: 0,
                 transfers_failed: 0,
             },
@@ -97,6 +101,7 @@ impl D2dLink {
         D2dLink {
             tech,
             state: LinkState::Connected,
+            extra_loss: 0.0,
             transfers_ok: 0,
             transfers_failed: 0,
         }
@@ -109,6 +114,7 @@ impl D2dLink {
         D2dLink {
             tech,
             state: LinkState::Establishing { ready_at },
+            extra_loss: 0.0,
             transfers_ok: 0,
             transfers_failed: 0,
         }
@@ -140,6 +146,24 @@ impl D2dLink {
             LinkState::Connected => true,
             LinkState::Closed => false,
         }
+    }
+
+    /// Degrades the link: transfers suffer `extra` additional loss
+    /// probability (clamped to `[0, 1]`) on top of the distance model
+    /// until [`clear_degrade`](Self::clear_degrade). Models an
+    /// interference window; fault plans drive this.
+    pub fn degrade(&mut self, extra: f64) {
+        self.extra_loss = extra.clamp(0.0, 1.0);
+    }
+
+    /// Removes any interference penalty.
+    pub fn clear_degrade(&mut self) {
+        self.extra_loss = 0.0;
+    }
+
+    /// The current interference penalty (0 on a healthy link).
+    pub fn extra_loss(&self) -> f64 {
+        self.extra_loss
     }
 
     /// Successful transfers so far.
@@ -179,7 +203,11 @@ impl D2dLink {
 
         let sender = self.tech.send(now, bytes, distance_m);
         let out_of_range = distance_m > self.tech.range_m;
-        let lost = out_of_range || rng.chance(self.tech.loss_probability(distance_m));
+        // The degrade penalty only raises the probability of the one
+        // draw the healthy path makes, so faulted and clean runs consume
+        // the RNG stream identically.
+        let loss = (self.tech.loss_probability(distance_m) + self.extra_loss).min(1.0);
+        let lost = out_of_range || rng.chance(loss);
         if lost {
             self.transfers_failed += 1;
             if out_of_range {
@@ -296,6 +324,33 @@ mod tests {
             (observed - expected).abs() < 0.05,
             "observed loss {observed}, model {expected}"
         );
+    }
+
+    #[test]
+    fn degraded_link_loses_payloads_until_cleared() {
+        let mut link = D2dLink::already_connected(TechProfile::wifi_direct());
+        link.degrade(1.0);
+        assert_eq!(link.extra_loss(), 1.0);
+        let out = link.transfer(SimTime::ZERO, 54, 1.0, &mut rng());
+        assert!(!out.success, "total interference must lose every payload");
+        assert_eq!(
+            link.state(),
+            LinkState::Connected,
+            "interference loses payloads without closing the link"
+        );
+        link.clear_degrade();
+        assert_eq!(link.extra_loss(), 0.0);
+        let out = link.transfer(SimTime::from_secs(1), 54, 1.0, &mut rng());
+        assert!(out.success, "healthy link at 1 m delivers");
+    }
+
+    #[test]
+    fn degrade_clamps_to_unit_interval() {
+        let mut link = D2dLink::already_connected(TechProfile::wifi_direct());
+        link.degrade(7.5);
+        assert_eq!(link.extra_loss(), 1.0);
+        link.degrade(-3.0);
+        assert_eq!(link.extra_loss(), 0.0);
     }
 
     #[test]

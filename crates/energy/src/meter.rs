@@ -47,6 +47,10 @@ impl EnergyMeter {
     /// Records one absolute-time segment.
     pub fn add_segment(&mut self, start: SimTime, segment: Segment) {
         let charge = segment.charge();
+        debug_assert!(
+            charge.as_micro_amp_hours().is_finite() && charge >= MicroAmpHours::ZERO,
+            "energy segments must carry finite, non-negative charge (got {charge:?})"
+        );
         *self
             .by_phase
             .entry(segment.phase)

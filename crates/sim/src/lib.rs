@@ -38,6 +38,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -45,6 +46,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, FiredEvent, Simulation};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::DeviceId;
 pub use rng::SimRng;
 pub use stats::{Counter, Summary};

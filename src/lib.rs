@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the D2D heartbeat relaying framework workspace.
 pub use hbr_apps as apps;
 pub use hbr_baseline as baseline;
+pub use hbr_bench as bench;
 pub use hbr_cellular as cellular;
 pub use hbr_core as core;
 pub use hbr_d2d as d2d;

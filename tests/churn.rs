@@ -5,7 +5,8 @@ use d2d_heartbeat::apps::AppProfile;
 use d2d_heartbeat::core::fleet::FleetBuilder;
 use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
 use d2d_heartbeat::mobility::{Mobility, Position};
-use d2d_heartbeat::sim::SimDuration;
+use d2d_heartbeat::sim::fault::FaultKind;
+use d2d_heartbeat::sim::{DeviceId, SimDuration, SimTime};
 
 #[test]
 fn stadium_exodus_hands_everyone_back_to_cellular() {
@@ -69,6 +70,56 @@ fn wandering_crowd_keeps_presence_through_rematching() {
     for dev in &report.devices {
         assert_eq!(dev.offline_secs, 0.0, "{} lapsed", dev.device);
     }
+}
+
+#[test]
+fn relay_churn_via_fault_plan_keeps_presence() {
+    // The relay repeatedly leaves and returns — departure-with-rejoin
+    // faults every half hour. Members must detach, live on cellular,
+    // and re-match each time the relay comes back.
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 17);
+    config.mode = Mode::D2dFramework;
+    config.add_device(DeviceSpec {
+        role: Role::Relay,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::stationary(Position::new(0.0, 0.0)),
+        battery_mah: None,
+    });
+    for i in 0..3 {
+        config.add_device(DeviceSpec {
+            role: Role::Ue,
+            apps: vec![AppProfile::wechat()],
+            mobility: Mobility::stationary(Position::new(1.0 + i as f64, 0.0)),
+            battery_mah: None,
+        });
+    }
+    for cycle in 0..3u64 {
+        config.faults.schedule(
+            SimTime::from_secs(1500 + cycle * 1800),
+            FaultKind::RelayDeparture {
+                device: DeviceId::new(0),
+                rejoin_after: Some(SimDuration::from_secs(900)),
+            },
+        );
+    }
+    let report = Scenario::new(config).run();
+
+    assert_eq!(report.rejected_expired, 0);
+    for ue in &report.devices[1..] {
+        assert_eq!(ue.offline_secs, 0.0, "{} lapsed during churn", ue.device);
+        assert!(
+            ue.rrc_connections > 0,
+            "{} never fell back while the relay was away",
+            ue.device
+        );
+        assert!(
+            ue.forwards > 0,
+            "{} never re-matched after a rejoin",
+            ue.device
+        );
+    }
+    // The relay genuinely served between departures.
+    assert!(report.devices[0].forwards > 0);
 }
 
 #[test]

@@ -1,10 +1,16 @@
 //! Failure-injection suite: the framework must degrade to the cellular
 //! path without ever losing a session, whatever dies.
+//!
+//! The second half drives the declarative [`FaultPlan`] — one scenario
+//! per fault kind, each asserting the UEs stay online (`offline_secs ==
+//! 0`) and actually exercised the cellular fallback (`rrc_connections >
+//! 0`).
 
 use d2d_heartbeat::apps::AppProfile;
 use d2d_heartbeat::core::world::{DeviceSpec, Mode, Role, Scenario, ScenarioConfig};
 use d2d_heartbeat::mobility::{Mobility, Position};
-use d2d_heartbeat::sim::SimDuration;
+use d2d_heartbeat::sim::fault::FaultKind;
+use d2d_heartbeat::sim::{DeviceId, SimDuration, SimTime};
 
 fn base_config(seed: u64) -> ScenarioConfig {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), seed);
@@ -113,6 +119,152 @@ fn lossy_link_at_range_edge_still_converges() {
         ue.fallbacks > 0 || ue.forwards > 0,
         "the UE must have tried something"
     );
+}
+
+/// UEs stayed present and the fault actually pushed traffic onto the
+/// cellular path: zero offline seconds, zero expirations, and at least
+/// one RRC connection on each UE's own radio.
+fn assert_degraded_to_cellular(report: &d2d_heartbeat::core::world::ScenarioReport) {
+    assert_eq!(
+        report.rejected_expired, 0,
+        "a heartbeat expired undelivered"
+    );
+    for ue in report.devices.iter().filter(|d| d.role == Role::Ue) {
+        assert_eq!(ue.offline_secs, 0.0, "{} went offline", ue.device);
+        assert!(
+            ue.rrc_connections > 0,
+            "{} never reached the cellular fallback",
+            ue.device
+        );
+    }
+}
+
+#[test]
+fn link_drop_mid_transfer_degrades_to_cellular() {
+    let mut config = base_config(21);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.add_device(device(Role::Ue, 2.0, None));
+    // The first UE's D2D radio dies for 20 minutes mid-scenario; its
+    // heartbeats must take the direct path until the window closes.
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::LinkDrop {
+            device: DeviceId::new(1),
+            d2d_down_for: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+    assert_eq!(report.duplicates, 0);
+    // After the window the UE re-matches and forwards again.
+    assert!(report.devices[1].forwards > 0, "never returned to D2D");
+}
+
+#[test]
+fn degraded_link_is_rescued_by_feedback() {
+    let mut config = base_config(22);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    // Total interference on the UE's link for 20 minutes: every D2D
+    // transfer in the window fails outright.
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::LinkDegrade {
+            device: DeviceId::new(1),
+            extra_loss: 1.0,
+            duration: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+}
+
+#[test]
+fn payload_loss_in_transit_is_rescued_by_feedback() {
+    let mut config = base_config(23);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    // The transfer itself succeeds but the payload is corrupt: the UE
+    // believes it forwarded, so only the feedback timeout can rescue it.
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::PayloadLoss {
+            device: DeviceId::new(1),
+            probability: 1.0,
+            duration: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+    assert!(
+        report.devices[1].fallbacks > 0,
+        "lost payloads must surface as feedback fallbacks"
+    );
+}
+
+#[test]
+fn relay_departure_degrades_to_cellular() {
+    let mut config = base_config(24);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.add_device(device(Role::Ue, 2.0, None));
+    // The relay walks away half an hour in and never returns; both UEs
+    // live on their own radios from then on.
+    config.faults.schedule(
+        SimTime::from_secs(1800),
+        FaultKind::RelayDeparture {
+            device: DeviceId::new(0),
+            rejoin_after: None,
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+    // The departed relay keeps its own session alive over cellular too.
+    assert_eq!(report.devices[0].offline_secs, 0.0);
+}
+
+#[test]
+fn discovery_blackout_forces_the_direct_path() {
+    let mut config = base_config(25);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    // Discovery is dark from the start: no UE can match a relay for the
+    // first 15 minutes, so early heartbeats must go direct. Matching
+    // resumes once the blackout lifts.
+    config.faults.schedule(
+        SimTime::ZERO,
+        FaultKind::DiscoveryBlackout {
+            duration: SimDuration::from_secs(900),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+    assert!(
+        report.devices[1].forwards > 0,
+        "matching never resumed after the blackout"
+    );
+}
+
+#[test]
+fn cellular_outage_queues_and_drains_without_session_loss() {
+    let mut config = base_config(26);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.add_device(device(Role::Ue, 2.0, None));
+    // 450 s outage: longer than the 300 s feedback timeout (so UEs do
+    // fall back mid-outage and the queue is exercised) but far shorter
+    // than the 810 s expiration (so nothing goes stale). Queued copies
+    // may race the relay's feedback, so duplicates are legal here.
+    config.faults.schedule(
+        SimTime::from_secs(1800),
+        FaultKind::CellularOutage {
+            duration: SimDuration::from_secs(450),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert_degraded_to_cellular(&report);
+    assert!(report.delivered > 0);
 }
 
 #[test]
