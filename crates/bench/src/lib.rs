@@ -23,9 +23,37 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
+use hbr_sim::MetricsSnapshot;
+
 pub mod sweep;
 
 pub use sweep::{derive_seed, run_sweep, run_sweep_with_threads, sweep_threads};
+
+/// Merges per-run [`MetricsSnapshot`]s into one, strictly in input
+/// order. Since [`run_sweep`] returns results in input order, folding
+/// its reports through here yields the same bytes at any thread count —
+/// the merged snapshot is as reproducible as the runs themselves.
+///
+/// # Examples
+///
+/// ```
+/// use hbr_sim::MetricsSnapshot;
+///
+/// let mut a = MetricsSnapshot::default();
+/// a.counters.insert("runs".into(), 1);
+/// let merged = hbr_bench::merge_snapshots([&a, &a]);
+/// assert_eq!(merged.counters["runs"], 2);
+/// ```
+pub fn merge_snapshots<'a, I>(snapshots: I) -> MetricsSnapshot
+where
+    I: IntoIterator<Item = &'a MetricsSnapshot>,
+{
+    let mut merged = MetricsSnapshot::default();
+    for snapshot in snapshots {
+        merged.merge(snapshot);
+    }
+    merged
+}
 
 /// Prints a titled, column-aligned text table to stdout.
 ///
@@ -114,6 +142,21 @@ mod tests {
     fn check_reports_verdict() {
         assert!(check("always true", true, "ok"));
         assert!(!check("always false", false, "nope"));
+    }
+
+    #[test]
+    fn merge_snapshots_sums_in_order() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("hbr_flush_total".into(), 3);
+        a.gauges.insert("hbr_energy_uah".into(), 1.5);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("hbr_flush_total".into(), 4);
+        b.counters.insert("hbr_rrc_establish_total".into(), 2);
+        let merged = merge_snapshots([&a, &b]);
+        assert_eq!(merged.counters["hbr_flush_total"], 7);
+        assert_eq!(merged.counters["hbr_rrc_establish_total"], 2);
+        assert_eq!(merged.gauges["hbr_energy_uah"], 1.5);
+        assert!(merge_snapshots([]).is_empty());
     }
 
     #[test]

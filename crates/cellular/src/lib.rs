@@ -42,4 +42,6 @@ pub mod radio;
 pub use bs::BaseStation;
 pub use config::RrcConfig;
 pub use l3::{L3Message, SignalingCapture};
-pub use radio::{CellularRadio, RadioActivity, RrcState, StateOccupancy, TransmitOutcome};
+pub use radio::{
+    CellularRadio, RadioActivity, RrcState, RrcTransitionRecord, StateOccupancy, TransmitOutcome,
+};

@@ -31,6 +31,16 @@ pub enum RrcState {
 }
 
 impl RrcState {
+    /// Short lowercase label for metrics and event streams (`"idle"`,
+    /// `"dch"`, `"fach"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RrcState::Idle => "idle",
+            RrcState::CellDch => "dch",
+            RrcState::CellFach => "fach",
+        }
+    }
+
     /// `true` if a radio observed in `self` may legally be observed in
     /// `next` some time later (§II-B state machine, under the lazy
     /// accounting this module uses: several internal hops may collapse
@@ -46,6 +56,20 @@ impl RrcState {
     }
 }
 
+/// One observed RRC state change, with how long the radio dwelt in the
+/// state it left — the raw material for state-residency histograms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrcTransitionRecord {
+    /// When the radio entered `to`.
+    pub at: SimTime,
+    /// The state left behind.
+    pub from: RrcState,
+    /// The state entered.
+    pub to: RrcState,
+    /// Time spent in `from` before this transition.
+    pub dwell: SimDuration,
+}
+
 /// Energy segments and layer-3 messages produced by radio operations,
 /// stamped with absolute times.
 #[derive(Debug, Clone, Default)]
@@ -54,6 +78,8 @@ pub struct RadioActivity {
     pub segments: Vec<(SimTime, Segment)>,
     /// Timestamped layer-3 messages to feed a `SignalingCapture`.
     pub messages: Vec<(SimTime, L3Message)>,
+    /// RRC state changes this activity caused, in time order.
+    pub transitions: Vec<RrcTransitionRecord>,
 }
 
 impl RadioActivity {
@@ -61,6 +87,7 @@ impl RadioActivity {
     pub fn extend(&mut self, other: RadioActivity) {
         self.segments.extend(other.segments);
         self.messages.extend(other.messages);
+        self.transitions.extend(other.transitions);
     }
 
     fn push_segment(
@@ -149,6 +176,10 @@ pub struct CellularRadio {
     /// When the current state began. For `CellDch` this is the end of the
     /// last active transfer, i.e. the start of the tail.
     state_since: SimTime,
+    /// When the current state was *entered* (for `CellDch`, the original
+    /// promotion instant — unlike `state_since`, repeated transfers do
+    /// not reset it). Drives dwell times in [`RrcTransitionRecord`]s.
+    entered_at: SimTime,
     /// Occupancy energy has been recorded up to this instant.
     accounted_until: SimTime,
     total_connections: u64,
@@ -164,6 +195,7 @@ impl CellularRadio {
             cfg,
             state: RrcState::Idle,
             state_since: SimTime::ZERO,
+            entered_at: SimTime::ZERO,
             accounted_until: SimTime::ZERO,
             total_connections: 0,
             total_transmissions: 0,
@@ -228,6 +260,21 @@ impl CellularRadio {
         }
     }
 
+    /// Moves the machine into `to` at `at`, recording the transition
+    /// (and the dwell completed in the state left behind) into
+    /// `activity`.
+    fn enter(&mut self, activity: &mut RadioActivity, at: SimTime, to: RrcState) {
+        activity.transitions.push(RrcTransitionRecord {
+            at,
+            from: self.state,
+            to,
+            dwell: at.saturating_since(self.entered_at),
+        });
+        self.state = to;
+        self.state_since = at;
+        self.entered_at = at;
+    }
+
     /// Brings the state machine's accounting up to `now`, applying any
     /// demotions whose timers expired, and returns the energy/signaling
     /// that occupancy produced. Call this at scenario end (`finalize`) or
@@ -269,14 +316,12 @@ impl CellularRadio {
                         for m in self.cfg.demotion_messages() {
                             activity.messages.push((demote_at, *m));
                         }
-                        self.state = RrcState::CellFach;
-                        self.state_since = demote_at;
+                        self.enter(&mut activity, demote_at, RrcState::CellFach);
                     } else {
                         for m in self.cfg.release_messages() {
                             activity.messages.push((demote_at, *m));
                         }
-                        self.state = RrcState::Idle;
-                        self.state_since = demote_at;
+                        self.enter(&mut activity, demote_at, RrcState::Idle);
                     }
                 }
                 RrcState::CellFach => {
@@ -303,8 +348,7 @@ impl CellularRadio {
                     for m in self.cfg.release_messages() {
                         activity.messages.push((release_at, *m));
                     }
-                    self.state = RrcState::Idle;
-                    self.state_since = release_at;
+                    self.enter(&mut activity, release_at, RrcState::Idle);
                 }
             }
         }
@@ -380,7 +424,9 @@ impl CellularRadio {
         let busy = (delivered_at - now).as_secs_f64();
         self.occupancy.dch_secs += busy;
         self.occupancy.active_secs += busy;
-        self.state = RrcState::CellDch;
+        if self.state != RrcState::CellDch {
+            self.enter(&mut activity, now, RrcState::CellDch);
+        }
         self.state_since = delivered_at; // tail timer restarts after activity
         self.accounted_until = delivered_at;
         self.total_transmissions += 1;
@@ -662,6 +708,54 @@ mod tests {
         let second = r.advance(SimTime::from_secs(60));
         assert!(second.segments.is_empty());
         assert!(second.messages.is_empty());
+    }
+
+    #[test]
+    fn transitions_cover_the_full_cycle_with_dwells() {
+        let cfg = RrcConfig::wcdma_galaxy_s4();
+        let mut r = CellularRadio::new(cfg.clone());
+        let out = r.transmit(SimTime::from_secs(10), 74);
+        assert_eq!(out.activity.transitions.len(), 1);
+        let promo = out.activity.transitions[0];
+        assert_eq!((promo.from, promo.to), (RrcState::Idle, RrcState::CellDch));
+        assert_eq!(promo.at, SimTime::from_secs(10));
+        assert_eq!(promo.dwell, SimDuration::from_secs(10), "10 s idle first");
+
+        let tail = r.finalize(SimTime::from_secs(100));
+        let pairs: Vec<_> = tail.transitions.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (RrcState::CellDch, RrcState::CellFach),
+                (RrcState::CellFach, RrcState::Idle),
+            ]
+        );
+        // DCH dwell = promotion + transfer + DCH tail; FACH dwell = FACH tail.
+        let dch_dwell = cfg.promotion_delay + cfg.min_active + cfg.dch_tail;
+        assert_eq!(tail.transitions[0].dwell, dch_dwell);
+        assert_eq!(tail.transitions[1].dwell, cfg.fach_tail);
+        assert!(tail
+            .transitions
+            .iter()
+            .all(|t| t.from.can_transition_to(t.to)));
+    }
+
+    #[test]
+    fn dch_reuse_records_no_transition() {
+        let mut r = radio();
+        let first = r.transmit(SimTime::ZERO, 74);
+        let second = r.transmit(first.delivered_at + SimDuration::from_secs(1), 74);
+        assert!(
+            second.activity.transitions.is_empty(),
+            "riding the open DCH window is not a state change"
+        );
+    }
+
+    #[test]
+    fn state_labels_are_lowercase_and_distinct() {
+        assert_eq!(RrcState::Idle.label(), "idle");
+        assert_eq!(RrcState::CellDch.label(), "dch");
+        assert_eq!(RrcState::CellFach.label(), "fach");
     }
 
     #[test]

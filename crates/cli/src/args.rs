@@ -14,7 +14,15 @@ USAGE:
     hbr crowd [--phones N] [--relays N] [--hours H] [--area METRES]
               [--seed S] [--push-mins M] [--mode d2d|original|both]
               [--faults SPEC] [--trace N]
+              [--metrics-out FILE] [--events-out FILE]
         Run a crowd scenario and print the operator console.
+        --devices is accepted as an alias for --phones.
+
+        --metrics-out writes the merged telemetry snapshot to FILE as
+        JSON and, next to it, as Prometheus text (extension .prom);
+        --events-out writes the typed event stream as JSONL, one
+        run-labelled event per line. Either flag turns telemetry on;
+        both files are byte-identical across thread counts and reruns.
 
         --faults injects a deterministic fault schedule; SPEC is a
         comma-separated list of events (times/durations in seconds,
@@ -31,6 +39,12 @@ USAGE:
 
     hbr strategies [--app wechat|qq|whatsapp|facebook] [--hours H] [--seed S]
         Compare every heartbeat strategy on one app's mixed workload.
+
+    hbr timeline FILE [--around SECS] [--window SECS] [--device N]
+        Explain a window of an --events-out JSONL file as a causal,
+        human-readable timeline. --around centres the window (--window
+        half-width, default 120 s; omit --around to show everything);
+        --device keeps one device's events plus global faults.
 
     hbr help
         Show this text.";
@@ -67,6 +81,21 @@ pub enum Command {
         faults: FaultPlan,
         /// Trace ring-buffer capacity (0 disables tracing).
         trace: usize,
+        /// Write the merged metrics snapshot here (JSON + `.prom`).
+        metrics_out: Option<String>,
+        /// Write the typed event stream here (JSONL).
+        events_out: Option<String>,
+    },
+    /// Render a causal timeline from an `--events-out` JSONL file.
+    Timeline {
+        /// The JSONL file to read.
+        file: String,
+        /// Centre of the window, seconds (None = whole file).
+        around: Option<u64>,
+        /// Window half-width, seconds.
+        window: u64,
+        /// Restrict to one device (global faults are kept).
+        device: Option<u32>,
     },
     /// The strategy comparison table.
     Strategies {
@@ -137,14 +166,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut mode = CrowdMode::Both;
             let mut faults = FaultPlan::new();
             let mut trace = 0usize;
+            let mut metrics_out = None;
+            let mut events_out = None;
             parse_flags(rest, |flag, value| match flag {
-                "--phones" => set(value, &mut phones),
+                "--phones" | "--devices" => set(value, &mut phones),
                 "--relays" => set(value, &mut relays),
                 "--hours" => set(value, &mut hours),
                 "--area" => set(value, &mut area),
                 "--seed" => set(value, &mut seed),
                 "--push-mins" => set(value, &mut push_mins),
                 "--trace" => set(value, &mut trace),
+                "--metrics-out" => {
+                    metrics_out = Some(value.to_string());
+                    Ok(())
+                }
+                "--events-out" => {
+                    events_out = Some(value.to_string());
+                    Ok(())
+                }
                 "--faults" => {
                     faults = parse_fault_spec(value)?;
                     Ok(())
@@ -176,6 +215,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 mode,
                 faults,
                 trace,
+                metrics_out,
+                events_out,
+            })
+        }
+        "timeline" => {
+            let Some(file) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err("timeline needs an events JSONL file".into());
+            };
+            let file = file.clone();
+            let mut around = None;
+            let mut window = 120u64;
+            let mut device = None;
+            parse_flags(&rest[1..], |flag, value| match flag {
+                "--around" => {
+                    let mut at = 0u64;
+                    set(value, &mut at)?;
+                    around = Some(at);
+                    Ok(())
+                }
+                "--window" => set(value, &mut window),
+                "--device" => {
+                    let mut d = 0u32;
+                    set(value, &mut d)?;
+                    device = Some(d);
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for timeline")),
+            })?;
+            if window == 0 {
+                return Err("--window must be positive".into());
+            }
+            Ok(Command::Timeline {
+                file,
+                around,
+                window,
+                device,
             })
         }
         "strategies" => {
@@ -427,6 +502,62 @@ mod tests {
         assert!(parse_fault_spec("loss@100+60:2=1.5").is_err(), "P > 1");
         assert!(parse_fault_spec("teleport@100+60").is_err(), "unknown kind");
         assert!(parse_fault_spec("outage@ten+60").is_err(), "bad number");
+    }
+
+    #[test]
+    fn crowd_accepts_telemetry_outputs_and_devices_alias() {
+        let cmd = parse(&argv(
+            "crowd --devices 200 --metrics-out m.json --events-out e.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Crowd {
+                phones,
+                metrics_out,
+                events_out,
+                ..
+            } => {
+                assert_eq!(phones, 200);
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(events_out.as_deref(), Some("e.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Without the flags both stay off.
+        match parse(&argv("crowd")).unwrap() {
+            Command::Crowd {
+                metrics_out,
+                events_out,
+                ..
+            } => assert!(metrics_out.is_none() && events_out.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeline_parses_and_validates() {
+        assert_eq!(
+            parse(&argv("timeline e.jsonl --around 1800 --device 7")).unwrap(),
+            Command::Timeline {
+                file: "e.jsonl".into(),
+                around: Some(1800),
+                window: 120,
+                device: Some(7),
+            }
+        );
+        assert_eq!(
+            parse(&argv("timeline e.jsonl --window 60")).unwrap(),
+            Command::Timeline {
+                file: "e.jsonl".into(),
+                around: None,
+                window: 60,
+                device: None,
+            }
+        );
+        assert!(parse(&argv("timeline")).is_err(), "missing file");
+        assert!(parse(&argv("timeline --around 5")).is_err(), "flag as file");
+        assert!(parse(&argv("timeline e.jsonl --window 0")).is_err());
+        assert!(parse(&argv("timeline e.jsonl --frobnicate 1")).is_err());
     }
 
     #[test]

@@ -31,10 +31,32 @@ pub fn run(command: Command) {
             mode,
             faults,
             trace,
+            metrics_out,
+            events_out,
         } => crowd(
-            phones, relays, hours, area, seed, push_mins, mode, faults, trace,
+            phones,
+            relays,
+            hours,
+            area,
+            seed,
+            push_mins,
+            mode,
+            faults,
+            trace,
+            metrics_out,
+            events_out,
         ),
         Command::Strategies { app, hours, seed } => strategies(&app, hours, seed),
+        Command::Timeline {
+            file,
+            around,
+            window,
+            device,
+        } => {
+            if let Err(message) = crate::timeline::run(&file, around, window, device) {
+                eprintln!("error: {message}");
+            }
+        }
     }
 }
 
@@ -85,11 +107,13 @@ fn build_crowd(
     mode: Mode,
     faults: &FaultPlan,
     trace: usize,
+    telemetry: bool,
 ) -> ScenarioReport {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(hours * 3600), seed);
     config.mode = mode;
     config.faults = faults.clone();
     config.trace_capacity = trace;
+    config.telemetry = telemetry;
     if push_mins > 0 {
         config.push_interval = Some(SimDuration::from_secs(push_mins * 60));
     }
@@ -113,11 +137,14 @@ fn crowd(
     mode: CrowdMode,
     faults: FaultPlan,
     trace: usize,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
 ) {
     println!("crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n");
     if !faults.is_empty() {
         println!("fault plan: {} scheduled event(s)\n", faults.events().len());
     }
+    let telemetry = metrics_out.is_some() || events_out.is_some();
     let runs: Vec<(&str, Mode)> = match mode {
         CrowdMode::D2d => vec![("d2d-framework", Mode::D2dFramework)],
         CrowdMode::Original => vec![("original", Mode::OriginalCellular)],
@@ -131,7 +158,7 @@ fn crowd(
     // order, keeping the printout identical to the sequential loop.
     let reports: Vec<ScenarioReport> = hbr_bench::run_sweep(seed, runs.clone(), |&(_, m), _| {
         build_crowd(
-            phones, relays, hours, area, seed, push_mins, m, &faults, trace,
+            phones, relays, hours, area, seed, push_mins, m, &faults, trace, telemetry,
         )
     });
     for ((name, _), report) in runs.iter().zip(&reports) {
@@ -139,6 +166,12 @@ fn crowd(
         print!("{}", report.render());
         println!();
     }
+    write_telemetry(
+        &runs,
+        &reports,
+        metrics_out.as_deref(),
+        events_out.as_deref(),
+    );
     if reports.len() == 2 {
         let (base, fw) = (&reports[0], &reports[1]);
         println!("── comparison ──");
@@ -150,6 +183,49 @@ fn crowd(
             "energy saving    : {:.1}%",
             (1.0 - fw.total_energy_uah / base.total_energy_uah) * 100.0
         );
+    }
+}
+
+/// Writes the telemetry files a `crowd` run was asked for: the merged
+/// metrics snapshot as JSON (plus a `.prom` sibling in Prometheus text)
+/// and the run-labelled event stream as JSONL. Reports arrive in run
+/// order from the sweep, so both files are byte-identical across thread
+/// counts and reruns.
+fn write_telemetry(
+    runs: &[(&str, Mode)],
+    reports: &[ScenarioReport],
+    metrics_out: Option<&str>,
+    events_out: Option<&str>,
+) {
+    if let Some(path) = metrics_out {
+        let merged = hbr_bench::merge_snapshots(reports.iter().map(|r| &r.metrics));
+        let prom_path = std::path::Path::new(path).with_extension("prom");
+        let mut json = merged.to_json();
+        json.push('\n');
+        match std::fs::write(path, json)
+            .and_then(|()| std::fs::write(&prom_path, merged.to_prometheus()))
+        {
+            Ok(()) => println!("metrics  : wrote {path} and {}", prom_path.display()),
+            Err(e) => eprintln!("error: cannot write metrics to {path}: {e}"),
+        }
+    }
+    if let Some(path) = events_out {
+        let mut out = String::new();
+        let mut lines = 0usize;
+        for ((name, _), report) in runs.iter().zip(reports) {
+            for record in &report.events {
+                // Label each line with its run so `hbr timeline` can keep
+                // the `both`-mode streams apart. The injected key stays
+                // flat JSON, parseable by `parse_jsonl_line`.
+                let line = record.to_jsonl();
+                out.push_str(&format!("{{\"run\":\"{name}\",{}\n", &line[1..]));
+                lines += 1;
+            }
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => println!("events   : wrote {path} ({lines} event line(s))"),
+            Err(e) => eprintln!("error: cannot write events to {path}: {e}"),
+        }
     }
 }
 
@@ -215,6 +291,8 @@ mod tests {
             mode: CrowdMode::Both,
             faults: FaultPlan::new(),
             trace: 0,
+            metrics_out: None,
+            events_out: None,
         });
     }
 
@@ -231,7 +309,51 @@ mod tests {
             mode: CrowdMode::D2d,
             faults,
             trace: 200,
+            metrics_out: None,
+            events_out: None,
         });
+    }
+
+    #[test]
+    fn crowd_writes_telemetry_files_and_timeline_reads_them() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("hbr_cli_test_{}.json", std::process::id()));
+        let prom = metrics.with_extension("prom");
+        let events = dir.join(format!("hbr_cli_test_{}.jsonl", std::process::id()));
+        let faults = crate::args::parse_fault_spec("outage@600+120").unwrap();
+        run(Command::Crowd {
+            phones: 6,
+            relays: 2,
+            hours: 1,
+            area: 15.0,
+            seed: 3,
+            push_mins: 0,
+            mode: CrowdMode::Both,
+            faults,
+            trace: 0,
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            events_out: Some(events.to_string_lossy().into_owned()),
+        });
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("hbr_flush_total"));
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("hbr_rrc_dwell_seconds_bucket"));
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"run\":\"")));
+        assert!(jsonl.contains("\"run\":\"original\""));
+        assert!(jsonl.contains("\"run\":\"d2d-framework\""));
+        assert!(jsonl.contains("\"event\":\"fault\""));
+        // The timeline command consumes exactly what crowd produced.
+        run(Command::Timeline {
+            file: events.to_string_lossy().into_owned(),
+            around: Some(600),
+            window: 120,
+            device: None,
+        });
+        for p in [&metrics, &prom, &events] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! hbr quickstart [--ues N] [--transmissions N] [--distance M]
 //! hbr crowd [--phones N] [--relays N] [--hours H] [--area M] [--seed S]
 //!           [--push-mins M] [--mode d2d|original|both]
+//!           [--metrics-out FILE] [--events-out FILE]
 //! hbr strategies [--app NAME] [--hours H] [--seed S]
+//! hbr timeline FILE [--around SECS] [--window SECS] [--device N]
 //! hbr help
 //! ```
 
@@ -13,6 +15,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod timeline;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,400 @@
+//! `hbr timeline` — a causal, per-device explanation of an events file.
+//!
+//! Reads the JSONL stream `hbr crowd --events-out` wrote, keeps a time
+//! window (and optionally one device), and renders each event as a
+//! sentence an operator can follow: what flushed and why, how the radio
+//! moved, which faults fired, and — for cellular fallbacks — the most
+//! plausible injected fault that caused them. The rendering is pure
+//! string work over the parsed lines, so the same file always produces
+//! the same text.
+
+use std::collections::BTreeMap;
+
+use hbr_sim::telemetry::{parse_jsonl_line, JsonScalar};
+
+/// What slice of the file to explain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimelineQuery {
+    /// Centre of the window, seconds; [`None`] shows the whole file.
+    pub around_secs: Option<u64>,
+    /// Half-width of the window, seconds (ignored without `around_secs`).
+    pub window_secs: u64,
+    /// Keep only this device's events (global faults always stay).
+    pub device: Option<u32>,
+}
+
+/// One parsed event line, ready to render.
+struct Entry {
+    t_us: u64,
+    run: String,
+    kind: String,
+    fields: BTreeMap<String, JsonScalar>,
+}
+
+impl Entry {
+    fn device(&self) -> Option<u64> {
+        self.fields.get("device").and_then(JsonScalar::as_u64)
+    }
+
+    fn str(&self, key: &str) -> &str {
+        self.fields
+            .get(key)
+            .and_then(JsonScalar::as_str)
+            .unwrap_or("?")
+    }
+
+    fn num(&self, key: &str) -> u64 {
+        self.fields
+            .get(key)
+            .and_then(JsonScalar::as_u64)
+            .unwrap_or(0)
+    }
+
+    fn float(&self, key: &str) -> f64 {
+        self.fields
+            .get(key)
+            .and_then(JsonScalar::as_f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The fault kinds that plausibly explain a fallback cause — used to
+/// annotate each fallback with the nearest preceding matching fault.
+fn plausible_faults(cause: &str) -> &'static [&'static str] {
+    match cause {
+        "blackout" => &["discovery-blackout"],
+        "no-relay" => &["discovery-blackout", "relay-departure"],
+        "d2d-down" => &["link-drop", "relay-departure"],
+        "feedback-timeout" => &[
+            "payload-loss",
+            "link-degrade",
+            "link-drop",
+            "relay-departure",
+            "cellular-outage",
+        ],
+        _ => &[],
+    }
+}
+
+fn secs(t_us: u64) -> f64 {
+    t_us as f64 / 1_000_000.0
+}
+
+/// Renders the timeline for `text` (the JSONL file contents).
+///
+/// Returns the finished report, or an error when no line parses at all
+/// (almost certainly not an `--events-out` file).
+pub fn render(text: &str, query: TimelineQuery) -> Result<String, String> {
+    let mut skipped = 0usize;
+    let mut entries: Vec<Entry> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(fields) = parse_jsonl_line(line) else {
+            skipped += 1;
+            continue;
+        };
+        let (Some(t_us), Some(kind)) = (
+            fields.get("t_us").and_then(JsonScalar::as_u64),
+            fields.get("event").and_then(JsonScalar::as_str),
+        ) else {
+            skipped += 1;
+            continue;
+        };
+        entries.push(Entry {
+            t_us,
+            run: fields
+                .get("run")
+                .and_then(JsonScalar::as_str)
+                .unwrap_or("")
+                .to_string(),
+            kind: kind.to_string(),
+            fields,
+        });
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "no events found ({skipped} unparseable line(s)) — is this an --events-out file?"
+        ));
+    }
+
+    // Split into runs, preserving first-appearance order (the writer
+    // emits one contiguous block per run).
+    let mut runs: Vec<(String, Vec<Entry>)> = Vec::new();
+    for entry in entries {
+        match runs.iter_mut().find(|(name, _)| *name == entry.run) {
+            Some((_, bucket)) => bucket.push(entry),
+            None => runs.push((entry.run.clone(), vec![entry])),
+        }
+    }
+
+    let mut out = String::new();
+    if let Some(centre) = query.around_secs {
+        out.push_str(&format!(
+            "window: {}..{} s (around {centre}, ±{} s)",
+            centre.saturating_sub(query.window_secs),
+            centre + query.window_secs,
+            query.window_secs
+        ));
+    } else {
+        out.push_str("window: whole file");
+    }
+    if let Some(d) = query.device {
+        out.push_str(&format!(", device {d} (+ global faults)"));
+    }
+    out.push('\n');
+    if skipped > 0 {
+        out.push_str(&format!("note: skipped {skipped} unparseable line(s)\n"));
+    }
+
+    for (name, entries) in &runs {
+        out.push('\n');
+        if !name.is_empty() {
+            out.push_str(&format!("── run: {name} ──\n"));
+        }
+        render_run(&mut out, entries, query);
+    }
+    Ok(out)
+}
+
+fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
+    let (lo_us, hi_us) = match query.around_secs {
+        Some(centre) => (
+            centre.saturating_sub(query.window_secs) * 1_000_000,
+            (centre + query.window_secs).saturating_mul(1_000_000),
+        ),
+        None => (0, u64::MAX),
+    };
+    let in_window = |e: &Entry| e.t_us >= lo_us && e.t_us <= hi_us;
+    let for_device = |e: &Entry| match (query.device, e.device()) {
+        (Some(want), Some(have)) => have == u64::from(want),
+        // Device-less events (global faults) always stay.
+        (Some(_), None) => true,
+        (None, _) => true,
+    };
+
+    // Faults are matched against the whole run, not just the window, so
+    // a fallback at the window's edge still finds its cause.
+    let faults: Vec<&Entry> = entries.iter().filter(|e| e.kind == "fault").collect();
+
+    let mut shown = 0usize;
+    let mut kind_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut flush_reasons: BTreeMap<String, usize> = BTreeMap::new();
+    let mut fallback_causes: BTreeMap<String, usize> = BTreeMap::new();
+
+    for entry in entries.iter().filter(|e| in_window(e) && for_device(e)) {
+        shown += 1;
+        *kind_counts
+            .entry(match entry.kind.as_str() {
+                "flush" => "flush",
+                "rrc" => "rrc",
+                "match" => "match",
+                "depart" => "depart",
+                "fallback" => "fallback",
+                "fault" => "fault",
+                "energy" => "energy",
+                _ => "other",
+            })
+            .or_insert(0) += 1;
+
+        let t = secs(entry.t_us);
+        let line = match entry.kind.as_str() {
+            "flush" => {
+                let reason = entry.str("reason");
+                *flush_reasons.entry(reason.to_string()).or_insert(0) += 1;
+                let why = match reason {
+                    "capacity" => "buffer reached capacity",
+                    "expiration" => "a heartbeat neared expiry",
+                    "period" => "aggregation period elapsed",
+                    "outage-queued" => "queued through a cellular outage, sent as it ended",
+                    other => other,
+                };
+                format!(
+                    "relay {} flushed {} forwarded + {} own heartbeat(s), {} B — {why}",
+                    entry.num("device"),
+                    entry.num("buffered"),
+                    entry.num("own"),
+                    entry.num("bytes"),
+                )
+            }
+            "rrc" => format!(
+                "device {} radio {} → {} after {} s in {}",
+                entry.num("device"),
+                entry.str("from"),
+                entry.str("to"),
+                entry.float("dwell_secs"),
+                entry.str("from"),
+            ),
+            "match" => format!(
+                "device {} matched relay {} and set up a D2D link",
+                entry.num("device"),
+                entry.num("relay"),
+            ),
+            "depart" => format!(
+                "device {} detached from relay {}",
+                entry.num("device"),
+                entry.num("relay"),
+            ),
+            "fallback" => {
+                let cause = entry.str("cause").to_string();
+                *fallback_causes.entry(cause.clone()).or_insert(0) += 1;
+                let mut line = format!(
+                    "device {} fell back to direct cellular ({cause})",
+                    entry.num("device"),
+                );
+                // Nearest preceding fault whose kind plausibly explains
+                // the cause — the causal link the operator is after.
+                let culprit = faults.iter().rfind(|f| {
+                    f.t_us <= entry.t_us && plausible_faults(&cause).contains(&f.str("kind"))
+                });
+                if let Some(f) = culprit {
+                    line.push_str(&format!(
+                        " — likely the {} fault injected at {:.1} s",
+                        f.str("kind"),
+                        secs(f.t_us),
+                    ));
+                }
+                line
+            }
+            "fault" => {
+                let mut line = format!(
+                    "fault injected: {} (plan entry {})",
+                    entry.str("kind"),
+                    entry.num("index"),
+                );
+                if let Some(d) = entry.device() {
+                    line.push_str(&format!(" on device {d}"));
+                }
+                line
+            }
+            "energy" => format!(
+                "device {} drew {} µAh in {}",
+                entry.num("device"),
+                entry.float("uah"),
+                entry.str("group"),
+            ),
+            other => format!("unrecognized event kind {other:?}"),
+        };
+        out.push_str(&format!("{t:>10.1}s  {line}\n"));
+    }
+
+    if shown == 0 {
+        out.push_str("  (no events in this window)\n");
+        return;
+    }
+    out.push_str(&format!("\n  {shown} event(s): "));
+    let parts: Vec<String> = kind_counts
+        .iter()
+        .map(|(k, n)| format!("{k} ×{n}"))
+        .collect();
+    out.push_str(&parts.join(", "));
+    out.push('\n');
+    if !flush_reasons.is_empty() {
+        let parts: Vec<String> = flush_reasons
+            .iter()
+            .map(|(r, n)| format!("{r} ×{n}"))
+            .collect();
+        out.push_str(&format!("  flush reasons: {}\n", parts.join(", ")));
+    }
+    if !fallback_causes.is_empty() {
+        let parts: Vec<String> = fallback_causes
+            .iter()
+            .map(|(c, n)| format!("{c} ×{n}"))
+            .collect();
+        out.push_str(&format!("  fallback causes: {}\n", parts.join(", ")));
+    }
+}
+
+/// The `hbr timeline` entry point: reads `file` and prints the report.
+pub fn run(
+    file: &str,
+    around: Option<u64>,
+    window: u64,
+    device: Option<u32>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let report = render(
+        &text,
+        TimelineQuery {
+            around_secs: around,
+            window_secs: window,
+            device,
+        },
+    )?;
+    print!("{report}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"run\":\"d2d-framework\",\"t_us\":5000000,\"event\":\"match\",\"device\":7,\"relay\":0}
+{\"run\":\"d2d-framework\",\"t_us\":1800000000,\"event\":\"fault\",\"index\":0,\"kind\":\"cellular-outage\"}
+{\"run\":\"d2d-framework\",\"t_us\":1805000000,\"event\":\"flush\",\"device\":0,\"reason\":\"outage-queued\",\"buffered\":4,\"own\":1,\"bytes\":512}
+{\"run\":\"d2d-framework\",\"t_us\":1810000000,\"event\":\"fallback\",\"device\":7,\"cause\":\"feedback-timeout\"}
+{\"run\":\"d2d-framework\",\"t_us\":1812000000,\"event\":\"rrc\",\"device\":7,\"from\":\"dch\",\"to\":\"fach\",\"dwell_secs\":6.5}
+{\"run\":\"d2d-framework\",\"t_us\":7200000000,\"event\":\"energy\",\"device\":7,\"group\":\"Cellular\",\"uah\":321.5}
+";
+
+    fn q(around: Option<u64>, device: Option<u32>) -> TimelineQuery {
+        TimelineQuery {
+            around_secs: around,
+            window_secs: 120,
+            device,
+        }
+    }
+
+    #[test]
+    fn whole_file_renders_every_event() {
+        let out = render(SAMPLE, q(None, None)).unwrap();
+        assert!(out.contains("run: d2d-framework"));
+        assert!(out.contains("matched relay 0"));
+        assert!(out.contains("fault injected: cellular-outage (plan entry 0)"));
+        assert!(out.contains("queued through a cellular outage"));
+        assert!(out.contains("drew 321.5 µAh in Cellular"));
+        assert!(out.contains("6 event(s)"));
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let out = render(SAMPLE, q(Some(1800), None)).unwrap();
+        assert!(out.contains("window: 1680..1920 s"));
+        assert!(!out.contains("matched relay"), "t=5 s is out of window");
+        assert!(!out.contains("µAh"), "t=7200 s is out of window");
+        assert!(out.contains("flush reasons: outage-queued ×1"));
+    }
+
+    #[test]
+    fn device_filter_keeps_global_faults() {
+        let out = render(SAMPLE, q(Some(1800), Some(7))).unwrap();
+        assert!(out.contains("fault injected"), "global fault survives");
+        assert!(!out.contains("relay 0 flushed"), "device 0 is filtered");
+        assert!(out.contains("device 7 fell back"));
+        assert!(out.contains("device 7 radio dch → fach after 6.5 s in dch"));
+    }
+
+    #[test]
+    fn fallbacks_cite_the_nearest_plausible_fault() {
+        let out = render(SAMPLE, q(Some(1800), Some(7))).unwrap();
+        assert!(
+            out.contains("likely the cellular-outage fault injected at 1800.0 s"),
+            "missing causal annotation in:\n{out}"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render(SAMPLE, q(None, None)).unwrap();
+        let b = render(SAMPLE, q(None, None)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn garbage_input_is_an_error_not_a_panic() {
+        assert!(render("not json\nstill not json\n", q(None, None)).is_err());
+        // A mix renders the good lines and counts the bad one.
+        let mixed = format!("garbage\n{SAMPLE}");
+        let out = render(&mixed, q(None, None)).unwrap();
+        assert!(out.contains("skipped 1 unparseable line(s)"));
+    }
+}

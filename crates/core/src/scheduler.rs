@@ -40,6 +40,18 @@ pub enum FlushReason {
     PeriodElapsed,
 }
 
+impl FlushReason {
+    /// Short label for metrics and event streams (`"capacity"`,
+    /// `"expiration"`, `"period"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::CapacityReached => "capacity",
+            FlushReason::ExpirationImminent => "expiration",
+            FlushReason::PeriodElapsed => "period",
+        }
+    }
+}
+
 /// The scheduler's verdict when a forwarded heartbeat arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScheduleDecision {

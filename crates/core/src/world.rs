@@ -25,11 +25,14 @@ use std::collections::{BTreeMap, HashSet};
 use hbr_apps::{
     AppId, AppProfile, Heartbeat, HeartbeatSchedule, ImServer, MessageId, MessageIdGen,
 };
-use hbr_cellular::{BaseStation, CellularRadio};
+use hbr_cellular::{BaseStation, CellularRadio, RadioActivity, RrcState};
 use hbr_d2d::D2dLink;
 use hbr_energy::{Battery, EnergyMeter, MicroAmpHours, PhaseGroup, Segment};
 use hbr_mobility::{Field, Mobility, PathLoss};
 use hbr_sim::fault::{fault_stream_seed, FaultKind, FaultPlan};
+use hbr_sim::telemetry::{
+    EventRecord, MetricsSnapshot, Telemetry, TelemetryEvent, DWELL_BUCKETS, SIZE_BUCKETS,
+};
 use hbr_sim::{DeviceId, SimDuration, SimRng, SimTime, Simulation, TraceEntry, Tracer};
 
 use crate::config::{FrameworkConfig, RadioStack};
@@ -107,6 +110,11 @@ pub struct ScenarioConfig {
     /// `HBR_CHECK_INVARIANTS` env var if set, else on in debug builds
     /// (every workspace test) and off in release experiment binaries.
     pub check_invariants: Option<bool>,
+    /// Record metrics and typed events into the report (see
+    /// [`hbr_sim::telemetry`]). Off by default: disabled channels make
+    /// every record call a no-op, and instrumentation is pure
+    /// observation either way (no RNG draws, no behaviour change).
+    pub telemetry: bool,
     /// Deliberate misbehaviour for mutation smoke tests; never set this
     /// outside tests that prove the checker catches a broken scheduler.
     #[doc(hidden)]
@@ -141,6 +149,7 @@ impl ScenarioConfig {
             bill_d2d_idle: true,
             faults: FaultPlan::new(),
             check_invariants: None,
+            telemetry: false,
             mutation: None,
             devices: Vec::new(),
         }
@@ -214,6 +223,12 @@ pub struct ScenarioReport {
     /// Trace entries evicted because the ring filled (0 = the trace is
     /// complete).
     pub trace_dropped: u64,
+    /// Deterministic metrics snapshot (empty unless
+    /// [`ScenarioConfig::telemetry`] was on).
+    pub metrics: MetricsSnapshot,
+    /// Typed telemetry events, time-sorted (empty unless telemetry was
+    /// on).
+    pub events: Vec<EventRecord>,
 }
 
 impl ScenarioReport {
@@ -401,6 +416,9 @@ pub struct Scenario {
     /// The longest app expiration in the scenario (grace sizing).
     max_expiration: SimDuration,
     checker: InvariantChecker,
+    /// Metrics + event channels (both disabled unless configured): pure
+    /// observation, so enabling them never perturbs a seeded run.
+    telemetry: Telemetry,
 }
 
 impl Scenario {
@@ -500,6 +518,11 @@ impl Scenario {
         let check = config
             .check_invariants
             .unwrap_or_else(invariant::default_enabled);
+        let telemetry = if config.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
 
         let mut world = Scenario {
             config,
@@ -523,6 +546,7 @@ impl Scenario {
             outage_queue: Vec::new(),
             max_expiration,
             checker: InvariantChecker::new(check),
+            telemetry,
         };
 
         for (index, fault) in world.config.faults.events().iter().enumerate() {
@@ -566,11 +590,19 @@ impl Scenario {
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
+        self.telemetry.metrics.incr("hbr_engine_steps_total");
         match event {
             Event::HeartbeatDue { device, app_idx } => self.on_heartbeat_due(now, device, app_idx),
             Event::FlushDeadline { device, generation } => {
                 if self.devices[device].deadline_generation == generation {
-                    self.flush_relay(now, device);
+                    // Ask the scheduler why the deadline fired; a stale
+                    // earliest-expiry race defaults to the period clause.
+                    let reason = self.devices[device]
+                        .scheduler
+                        .as_ref()
+                        .and_then(|s| s.flush_due(now))
+                        .unwrap_or(FlushReason::PeriodElapsed);
+                    self.flush_relay(now, device, reason);
                 }
             }
             Event::FeedbackSweep { device } => self.on_feedback_sweep(now, device),
@@ -615,9 +647,73 @@ impl Scenario {
         }
     }
 
+    /// Records a cellular-fallback decision against its cause.
+    fn note_fallback(&mut self, now: SimTime, device: usize, cause: &'static str) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .metrics
+            .incr(&format!("hbr_fallback_total{{cause=\"{cause}\"}}"));
+        self.telemetry.events.record(
+            now,
+            TelemetryEvent::Fallback {
+                device: self.devices[device].id.index(),
+                cause,
+            },
+        );
+    }
+
+    /// Feeds a radio's RRC transitions into the metrics (state-dwell
+    /// histograms, establish/release counters) and the event stream.
+    fn record_radio(&mut self, device: usize, activity: &RadioActivity, new_connections: u32) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if new_connections > 0 {
+            self.telemetry
+                .metrics
+                .add("hbr_rrc_establish_total", new_connections as u64);
+        }
+        let id = self.devices[device].id.index();
+        for t in &activity.transitions {
+            self.telemetry.metrics.observe(
+                &format!("hbr_rrc_dwell_seconds{{state=\"{}\"}}", t.from.label()),
+                DWELL_BUCKETS,
+                t.dwell.as_secs_f64(),
+            );
+            if t.to == RrcState::Idle {
+                self.telemetry.metrics.incr("hbr_rrc_release_total");
+            }
+            self.telemetry.events.record(
+                t.at,
+                TelemetryEvent::RrcTransition {
+                    device: id,
+                    from: t.from.label(),
+                    to: t.to.label(),
+                    dwell_secs: t.dwell.as_secs_f64(),
+                },
+            );
+        }
+    }
+
     /// Applies the indexed [`FaultPlan`] entry.
     fn on_fault(&mut self, now: SimTime, index: usize) {
         let fault = self.config.faults.events()[index];
+        if self.telemetry.is_enabled() {
+            self.telemetry.metrics.incr(&format!(
+                "hbr_faults_injected_total{{kind=\"{}\"}}",
+                fault.kind.label()
+            ));
+            self.telemetry.events.record(
+                now,
+                TelemetryEvent::FaultInjected {
+                    index,
+                    kind: fault.kind.label(),
+                    device: fault.kind.device().map(|d| d.index()),
+                },
+            );
+        }
         match fault.kind {
             FaultKind::LinkDrop {
                 device,
@@ -815,6 +911,7 @@ impl Scenario {
         self.pushes_delivered += 1;
         let out = self.devices[device].radio.receive_paged(now, 512);
         self.apply_activity(device, &out.activity.segments);
+        self.record_radio(device, &out.activity, out.rrc_connections);
         self.bs
             .record(self.devices[device].id, &out.activity, out.rrc_connections);
     }
@@ -859,13 +956,13 @@ impl Scenario {
             && !self.devices[device].own_pending.is_empty()
         {
             // Shouldn't happen (flush clears own_pending), defensive only.
-            self.flush_relay(now, device);
+            self.flush_relay(now, device, FlushReason::PeriodElapsed);
         }
         if !self.devices[device].own_pending.is_empty() {
             // Previous period never flushed (e.g. deadline still ahead but a
             // new own heartbeat arrived due to jitter): flush the old batch
             // first so periods never overlap.
-            self.flush_relay(now, device);
+            self.flush_relay(now, device, FlushReason::PeriodElapsed);
         }
         let dev = &mut self.devices[device];
         dev.own_pending.push(hb);
@@ -907,6 +1004,7 @@ impl Scenario {
             if self.devices[device].attached_to.is_some() {
                 self.detach_ue(device, now);
             }
+            self.note_fallback(now, device, "d2d-down");
             self.send_cellular(now, device, hb);
             return;
         }
@@ -956,6 +1054,7 @@ impl Scenario {
             // Discovery is dark: no rematching, but the cellular path
             // still carries the heartbeat (existing attachments are
             // unaffected — they skip this function entirely).
+            self.note_fallback(now, device, "blackout");
             self.send_cellular(now, device, hb);
             return;
         }
@@ -1061,6 +1160,16 @@ impl Scenario {
                         self.devices[device].id, self.devices[relay_idx].id
                     ),
                 );
+                if self.telemetry.is_enabled() {
+                    self.telemetry.metrics.incr("hbr_d2d_link_setup_total");
+                    self.telemetry.events.record(
+                        now,
+                        TelemetryEvent::RelayMatch {
+                            device: self.devices[device].id.index(),
+                            relay: self.devices[relay_idx].id.index(),
+                        },
+                    );
+                }
                 let dev = &mut self.devices[device];
                 dev.attached_to = Some(relay_idx);
                 dev.link = Some(D2dLink::establish_pending(
@@ -1069,9 +1178,20 @@ impl Scenario {
                 ));
                 dev.pending_until_ready.push(hb);
                 self.note_attached(device, relay_idx, ready_at);
+                if self.telemetry.is_enabled() {
+                    let fanin = self.devices[relay_idx].member_count;
+                    self.telemetry.metrics.observe(
+                        "hbr_relay_group_fanin",
+                        SIZE_BUCKETS,
+                        fanin as f64,
+                    );
+                }
                 self.sim.schedule_at(ready_at, Event::LinkReady { device });
             }
-            MatchDecision::DirectCellular(_) => self.send_cellular(now, device, hb),
+            MatchDecision::DirectCellular(_) => {
+                self.note_fallback(now, device, "no-relay");
+                self.send_cellular(now, device, hb);
+            }
         }
     }
 
@@ -1130,6 +1250,12 @@ impl Scenario {
             }
         }
 
+        if self.telemetry.is_enabled() {
+            self.telemetry.metrics.incr(&format!(
+                "hbr_d2d_transfer_total{{result=\"{}\"}}",
+                outcome.result_label()
+            ));
+        }
         let sender_segments = outcome.sender.segments.clone();
         self.apply_activity(device, &sender_segments);
 
@@ -1163,6 +1289,18 @@ impl Scenario {
             decision = ScheduleDecision::Pend;
         }
         self.devices[relay_idx].collected_total += 1;
+        if self.telemetry.is_enabled() && decision != ScheduleDecision::Rejected {
+            let occupancy = self.devices[relay_idx]
+                .scheduler
+                .as_ref()
+                .map(|s| s.collected())
+                .unwrap_or(0);
+            self.telemetry.metrics.observe(
+                "hbr_relay_buffer_occupancy",
+                SIZE_BUCKETS,
+                occupancy as f64,
+            );
+        }
         match decision {
             ScheduleDecision::Pend => {
                 let dev = &mut self.devices[relay_idx];
@@ -1181,7 +1319,7 @@ impl Scenario {
                     },
                 );
             }
-            ScheduleDecision::Flush(_) => self.flush_relay(arrival, relay_idx),
+            ScheduleDecision::Flush(reason) => self.flush_relay(arrival, relay_idx, reason),
             ScheduleDecision::Rejected => {
                 // Relay is full or between flush and next period: the
                 // heartbeat will be rescued by the UE's feedback timeout,
@@ -1194,7 +1332,7 @@ impl Scenario {
         }
     }
 
-    fn flush_relay(&mut self, now: SimTime, device: usize) {
+    fn flush_relay(&mut self, now: SimTime, device: usize, reason: FlushReason) {
         if !self.devices[device].is_alive() {
             return; // dead relays transmit nothing; UEs' timers rescue
         }
@@ -1222,12 +1360,48 @@ impl Scenario {
                     own.len()
                 ),
             );
+            if self.telemetry.is_enabled() {
+                let bytes: usize = batch.iter().chain(own.iter()).map(|h| h.size).sum();
+                self.telemetry
+                    .metrics
+                    .incr("hbr_flush_total{reason=\"outage-queued\"}");
+                self.telemetry.events.record(
+                    now,
+                    TelemetryEvent::Flush {
+                        device: self.devices[device].id.index(),
+                        reason: "outage-queued",
+                        buffered: batch.len(),
+                        own: own.len(),
+                        bytes,
+                    },
+                );
+            }
             for hb in batch.into_iter().chain(own) {
                 self.outage_queue.push((device, hb));
             }
             return;
         }
         let bytes: usize = batch.iter().chain(own.iter()).map(|h| h.size).sum();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .metrics
+                .incr(&format!("hbr_flush_total{{reason=\"{}\"}}", reason.label()));
+            self.telemetry.metrics.observe(
+                "hbr_relay_batch_size",
+                SIZE_BUCKETS,
+                batch.len() as f64,
+            );
+            self.telemetry.events.record(
+                now,
+                TelemetryEvent::Flush {
+                    device: self.devices[device].id.index(),
+                    reason: reason.label(),
+                    buffered: batch.len(),
+                    own: own.len(),
+                    bytes,
+                },
+            );
+        }
         self.tracer.record(
             now,
             "flush",
@@ -1243,6 +1417,7 @@ impl Scenario {
             dev.radio.transmit(now, bytes)
         };
         self.apply_activity(device, &out.activity.segments);
+        self.record_radio(device, &out.activity, out.rrc_connections);
         self.bs
             .record(self.devices[device].id, &out.activity, out.rrc_connections);
 
@@ -1275,6 +1450,7 @@ impl Scenario {
         let due = self.devices[device].feedback.expire_due(now);
         for pending in due {
             self.devices[device].fallbacks += 1;
+            self.note_fallback(now, device, "feedback-timeout");
             self.tracer.record(
                 now,
                 "fallback",
@@ -1311,6 +1487,7 @@ impl Scenario {
         }
         let out = self.devices[device].radio.transmit(now, hb.size);
         self.apply_activity(device, &out.activity.segments);
+        self.record_radio(device, &out.activity, out.rrc_connections);
         self.bs
             .record(self.devices[device].id, &out.activity, out.rrc_connections);
         let accepted = self
@@ -1329,6 +1506,18 @@ impl Scenario {
     fn detach_ue(&mut self, device: usize, now: SimTime) {
         let relay_idx = self.devices[device].attached_to.take();
         let had_link = self.devices[device].link.take().is_some();
+        if self.telemetry.is_enabled() {
+            if let Some(r) = relay_idx {
+                self.telemetry.metrics.incr("hbr_d2d_link_teardown_total");
+                self.telemetry.events.record(
+                    now,
+                    TelemetryEvent::RelayDepart {
+                        device: self.devices[device].id.index(),
+                        relay: self.devices[r].id.index(),
+                    },
+                );
+            }
+        }
         if self.config.bill_d2d_idle {
             if let Some(since) = self.devices[device].attached_since.take() {
                 let idle = self.config.stack.d2d.idle(since, now.max(since));
@@ -1404,7 +1593,31 @@ impl Scenario {
                 .finalize(end + SimDuration::from_secs(60));
             let id = self.devices[i].id;
             self.apply_activity(i, &tail.segments);
+            self.record_radio(i, &tail, 0);
             self.bs.record(id, &tail, 0);
+        }
+
+        // Close the telemetry books: per-device per-group energy events
+        // (stamped at the horizon) and system-wide energy gauges.
+        if self.telemetry.is_enabled() {
+            for i in 0..self.devices.len() {
+                let id = self.devices[i].id.index();
+                for (group, charge) in self.devices[i].meter.group_breakdown() {
+                    let uah = charge.as_micro_amp_hours();
+                    self.telemetry.metrics.add_gauge(
+                        &format!("hbr_energy_uah{{group=\"{}\"}}", group.label()),
+                        uah,
+                    );
+                    self.telemetry.events.record(
+                        end,
+                        TelemetryEvent::EnergyPhase {
+                            device: id,
+                            group: group.label(),
+                            uah,
+                        },
+                    );
+                }
+            }
         }
 
         // Conservation audit: every heartbeat the checker still has
@@ -1463,10 +1676,11 @@ impl Scenario {
                 device: d.id,
                 role: d.role,
                 energy_uah: d.meter.total().as_micro_amp_hours(),
-                energy_by_group: PhaseGroup::ALL
-                    .iter()
-                    .map(|g| (*g, d.meter.group_total(*g).as_micro_amp_hours()))
-                    .filter(|(_, e)| *e > 0.0)
+                energy_by_group: d
+                    .meter
+                    .group_breakdown()
+                    .into_iter()
+                    .map(|(g, c)| (g, c.as_micro_amp_hours()))
                     .collect(),
                 rrc_connections: d.radio.connections(),
                 forwards: if d.role == Role::Relay {
@@ -1490,6 +1704,14 @@ impl Scenario {
             .collect();
 
         let total_energy_uah = devices.iter().map(|d| d.energy_uah).sum();
+        // Lazy radio accounting records RRC transitions when they are
+        // *observed*, which can trail the simulated instant they
+        // happened at — a stable sort puts the stream in causal order
+        // (and is deterministic: same recording order in, same order
+        // out).
+        let mut events = std::mem::take(&mut self.telemetry.events).into_records();
+        events.sort_by_key(|r| r.time);
+        let metrics = self.telemetry.metrics.snapshot();
         ScenarioReport {
             devices,
             total_l3: self.bs.total_l3(),
@@ -1503,6 +1725,8 @@ impl Scenario {
             total_energy_uah,
             trace: self.tracer.iter().cloned().collect(),
             trace_dropped: self.tracer.dropped(),
+            metrics,
+            events,
         }
     }
 }
@@ -1671,6 +1895,66 @@ mod tests {
         let report = Scenario::new(basic_config(Mode::D2dFramework)).run();
         assert_eq!(report.pushes_delivered, 0);
         assert_eq!(report.pushes_missed, 0);
+    }
+
+    #[test]
+    fn telemetry_is_pure_observation_and_captures_the_story() {
+        let plain = Scenario::new(basic_config(Mode::D2dFramework)).run();
+        assert!(plain.metrics.is_empty(), "telemetry is off by default");
+        assert!(plain.events.is_empty());
+
+        let mut config = basic_config(Mode::D2dFramework);
+        config.telemetry = true;
+        let instrumented = Scenario::new(config).run();
+        assert_eq!(
+            plain.render(),
+            instrumented.render(),
+            "enabling telemetry must not perturb the run"
+        );
+
+        let m = &instrumented.metrics;
+        let flushes: u64 = m
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("hbr_flush_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(flushes > 0, "a 3 h framework run flushes");
+        assert!(m.counter("hbr_rrc_establish_total") > 0);
+        assert!(m.counter("hbr_rrc_release_total") > 0);
+        assert!(m
+            .histograms
+            .contains_key("hbr_rrc_dwell_seconds{state=\"dch\"}"));
+        assert!(m.histograms.contains_key("hbr_relay_batch_size"));
+        assert!(m.histograms.contains_key("hbr_relay_buffer_occupancy"));
+        assert!(m.gauges.keys().any(|k| k.starts_with("hbr_energy_uah")));
+        assert!(m.counter("hbr_engine_steps_total") > 0);
+
+        for w in instrumented.events.windows(2) {
+            assert!(w[0].time <= w[1].time, "events must be time-sorted");
+        }
+        for kind in ["flush", "match", "rrc", "energy"] {
+            assert!(
+                instrumented.events.iter().any(|e| e.event.kind() == kind),
+                "missing {kind} events"
+            );
+        }
+
+        let mut config2 = basic_config(Mode::D2dFramework);
+        config2.telemetry = true;
+        let again = Scenario::new(config2).run();
+        assert_eq!(
+            again.metrics.to_json(),
+            instrumented.metrics.to_json(),
+            "metrics snapshots are byte-identical run to run"
+        );
+        let lines = |evs: &[hbr_sim::telemetry::EventRecord]| {
+            evs.iter()
+                .map(|e| e.to_jsonl())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(lines(&again.events), lines(&instrumented.events));
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub struct TransferOutcome {
     pub completed_at: SimTime,
 }
 
+impl TransferOutcome {
+    /// Short result label for metrics (`"ok"` / `"lost"`).
+    pub fn result_label(&self) -> &'static str {
+        if self.success {
+            "ok"
+        } else {
+            "lost"
+        }
+    }
+}
+
 /// One established (or establishing) D2D pairing between an initiator
 /// (UE) and a responder (relay).
 ///

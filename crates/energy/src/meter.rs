@@ -88,6 +88,18 @@ impl EnergyMeter {
             .sum()
     }
 
+    /// Per-group breakdown in display order, omitting empty groups — the
+    /// Table III rows for one device.
+    pub fn group_breakdown(&self) -> Vec<(PhaseGroup, MicroAmpHours)> {
+        PhaseGroup::ALL
+            .iter()
+            .filter_map(|g| {
+                let c = self.group_total(*g);
+                (c > MicroAmpHours::ZERO).then_some((*g, c))
+            })
+            .collect()
+    }
+
     /// Per-phase breakdown in display order, omitting empty phases.
     pub fn breakdown(&self) -> Vec<(Phase, MicroAmpHours)> {
         Phase::ALL

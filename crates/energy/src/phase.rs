@@ -102,18 +102,22 @@ impl PhaseGroup {
         PhaseGroup::Forwarding,
         PhaseGroup::Cellular,
     ];
-}
 
-impl fmt::Display for PhaseGroup {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The group's name as a static label for metrics and events.
+    pub fn label(self) -> &'static str {
+        match self {
             PhaseGroup::Baseline => "Baseline",
             PhaseGroup::Discovery => "Discovery",
             PhaseGroup::Connection => "Connection",
             PhaseGroup::Forwarding => "Forwarding",
             PhaseGroup::Cellular => "Cellular",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for PhaseGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -100,6 +100,32 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Short kebab-case label for metrics and event streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LinkDrop { .. } => "link-drop",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::RelayDeparture { .. } => "relay-departure",
+            FaultKind::DiscoveryBlackout { .. } => "discovery-blackout",
+            FaultKind::CellularOutage { .. } => "cellular-outage",
+            FaultKind::PayloadLoss { .. } => "payload-loss",
+        }
+    }
+
+    /// The device the fault targets, if the kind has one (blackouts and
+    /// outages are global).
+    pub fn device(self) -> Option<DeviceId> {
+        match self {
+            FaultKind::LinkDrop { device, .. }
+            | FaultKind::LinkDegrade { device, .. }
+            | FaultKind::RelayDeparture { device, .. }
+            | FaultKind::PayloadLoss { device, .. } => Some(device),
+            FaultKind::DiscoveryBlackout { .. } | FaultKind::CellularOutage { .. } => None,
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -50,5 +51,8 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::DeviceId;
 pub use rng::SimRng;
 pub use stats::{Counter, Summary};
+pub use telemetry::{
+    EventLog, EventRecord, Histogram, MetricsRegistry, MetricsSnapshot, Telemetry, TelemetryEvent,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, Tracer};

@@ -4,7 +4,9 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-/// Online summary of a stream of `f64` samples: count, sum, min, max, mean.
+/// Online summary of a stream of `f64` samples: count, sum, min, max,
+/// mean, and variance (Welford's algorithm — one pass, no sample
+/// storage, numerically stable).
 ///
 /// # Examples
 ///
@@ -19,6 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), Some(2.0));
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.max(), Some(3.0));
+/// assert_eq!(s.variance(), Some(2.0 / 3.0));
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Summary {
@@ -26,6 +29,12 @@ pub struct Summary {
     sum: f64,
     min: f64,
     max: f64,
+    /// Welford running mean (kept separately from `sum / count` for the
+    /// update's stability; the public [`mean`](Self::mean) stays derived
+    /// from the sum so existing outputs do not move).
+    welford_mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
 }
 
 impl Summary {
@@ -36,6 +45,8 @@ impl Summary {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            welford_mean: 0.0,
+            m2: 0.0,
         }
     }
 
@@ -51,6 +62,9 @@ impl Summary {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        let delta = value - self.welford_mean;
+        self.welford_mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.welford_mean);
     }
 
     /// Number of samples recorded.
@@ -78,11 +92,36 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Merges another summary into this one.
+    /// Population variance (`M2 / n`), or [`None`] before any sample
+    /// arrives. A single sample has variance `0`.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or [`None`] before any sample
+    /// arrives.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another summary into this one, combining the variance
+    /// accumulators with the parallel formula (Chan et al.): the result
+    /// matches recording both sample streams into a single summary, up
+    /// to floating-point rounding.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
             return;
         }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.welford_mean - self.welford_mean;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.welford_mean += delta * n2 / total;
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
@@ -203,6 +242,47 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn summary_rejects_nan() {
         Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn variance_matches_the_two_pass_formula() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = samples.into_iter().collect();
+        // Textbook set: population variance 4, stddev 2.
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+        // Single sample: defined, and zero.
+        let one: Summary = [42.0].into_iter().collect();
+        assert_eq!(one.variance(), Some(0.0));
+        assert_eq!(Summary::new().variance(), None);
+        assert_eq!(Summary::new().stddev(), None);
+    }
+
+    #[test]
+    fn merged_variance_equals_sequential_variance() {
+        // Splitting a stream at any point and merging must give the
+        // same moments as recording it sequentially (Chan et al.).
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let whole: Summary = samples.iter().copied().collect();
+        for split in [0usize, 1, 13, 50, 99, 100] {
+            let mut left: Summary = samples[..split].iter().copied().collect();
+            let right: Summary = samples[split..].iter().copied().collect();
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+            assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive sum-of-squares cancels catastrophically here; Welford
+        // keeps the small spread around a huge mean.
+        let offset = 1.0e9;
+        let s: Summary = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]
+            .into_iter()
+            .collect();
+        assert!((s.variance().unwrap() - 22.5).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,1013 @@
+//! Deterministic observability: a metrics registry and a typed event
+//! stream.
+//!
+//! The evaluation (§V) lives on *why* things happened — which of
+//! Algorithm 1's three conditions flushed a batch, how long radios
+//! dwelt in each RRC state, where the energy went. This module gives
+//! every subsystem a shared, zero-cost-when-disabled place to record
+//! those quantities:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and fixed-bucket
+//!   [`Histogram`]s. Bucket boundaries are static and counts are
+//!   integers, so a snapshot is byte-identical at any sweep thread
+//!   count (like the golden-trace artifacts).
+//! * [`TelemetryEvent`] / [`EventLog`] — a typed event stream
+//!   (flushes, RRC transitions, relay matches, fallbacks, faults,
+//!   energy phases) serialized as JSONL for machine consumption and the
+//!   `hbr timeline` explainer.
+//! * [`MetricsSnapshot`] — an immutable, mergeable copy of a registry
+//!   that renders as JSON and as a Prometheus-style text exposition.
+//!
+//! # Determinism rules
+//!
+//! Exported artifacts may contain **no wall-clock values**: every time
+//! is a [`SimTime`], every count an integer, every float derived from
+//! simulated quantities. Map iteration uses `BTreeMap`, merges happen
+//! in caller-defined (input) order, and float formatting uses Rust's
+//! shortest-roundtrip `{}` — so two runs of the same scenario produce
+//! byte-identical files, regardless of machine or thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbr_sim::telemetry::{MetricsRegistry, DWELL_BUCKETS};
+//!
+//! let mut m = MetricsRegistry::enabled();
+//! m.incr("hbr_flush_total{reason=\"capacity\"}");
+//! m.observe("hbr_rrc_dwell_seconds{state=\"dch\"}", DWELL_BUCKETS, 4.2);
+//! let snap = m.snapshot();
+//! assert!(snap.to_json().contains("hbr_flush_total"));
+//! assert!(snap.to_prometheus().contains("bucket"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// RRC state-dwell and D2D latency buckets, seconds.
+pub const DWELL_BUCKETS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0];
+
+/// Relay buffer occupancy / aggregation size buckets (heartbeats).
+pub const SIZE_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Queueing-delay buckets, seconds (up against the 270 s relay period).
+pub const DELAY_BUCKETS: &[f64] = &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 270.0];
+
+/// A fixed-bucket histogram: static upper boundaries, integer counts.
+///
+/// The boundary slice is part of the histogram's identity — observing
+/// into the same name with different boundaries panics, which keeps the
+/// exported artifact schema stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds (`le`), ascending. A final `+Inf` bucket
+    /// is implicit.
+    bounds: &'static [f64],
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given static boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &'static [f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — it would land in no bucket and poison the sum.
+    pub fn observe(&mut self, value: f64) {
+        assert!(!value.is_nan(), "Histogram::observe called with NaN");
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// The static bucket boundaries.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts (the last entry is the `+Inf` overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary slices differ — two histograms under one
+    /// name must share a schema.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket boundaries"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A registry of named metrics. Disabled registries make every record
+/// call a cheap early return and snapshot to an empty artifact.
+///
+/// Metric names follow the Prometheus convention, with any labels
+/// inlined: `hbr_flush_total{reason="capacity"}`. `BTreeMap` keys give
+/// every export a stable order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry: all record calls are no-ops.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// An enabled registry.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// `true` if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments the named counter by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds to the named gauge (for additive quantities like joules).
+    pub fn add_gauge(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Observes one sample into the named histogram, creating it over
+    /// `bounds` on first use.
+    pub fn observe(&mut self, name: &str, bounds: &'static [f64], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// An immutable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// An immutable, mergeable copy of a [`MetricsRegistry`]'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counts, by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values, by metric name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Distributions, by metric name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// `true` if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another snapshot into this one: counters and histogram
+    /// buckets add, gauges add (they carry additive quantities here).
+    /// Deterministic as long as callers merge in a fixed order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[..],"counts":[..],"count":n,"sum":x}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, n)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), n);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{{\"bounds\":[", json_string(name));
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_f64(*b));
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":{}}}", h.count, json_f64(h.sum));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms expand into cumulative `_bucket{le=...}` series plus
+    /// `_count` and `_sum`, exactly as a scrape endpoint would show them.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, n) in &self.counters {
+            let _ = writeln!(out, "{name} {n}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name} {}", json_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                let le = json_f64(*bound);
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                    prefix_labels(labels)
+                );
+            }
+            cumulative += h.counts.last().copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{base}_bucket{{{}le=\"+Inf\"}} {cumulative}",
+                prefix_labels(labels)
+            );
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
+            let _ = writeln!(out, "{base}_sum{suffix} {}", json_f64(h.sum));
+        }
+        out
+    }
+}
+
+/// Splits `name{labels}` into `(name, labels)`; labels may be empty.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Existing labels followed by a comma, or nothing — so a `le` label can
+/// always be appended inside one brace pair.
+fn prefix_labels(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+/// Formats a float for JSON: Rust's shortest-roundtrip `{}` notation is
+/// deterministic across platforms, with integral values kept integral
+/// (`3` not `3.0` would be ambiguous with counters, so keep the `.0`).
+pub fn json_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON-escapes and quotes a string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One typed telemetry event. Every variant carries enough context to
+/// explain itself in a timeline without joining against other streams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A relay flushed its aggregation buffer (Algorithm 1 fired).
+    Flush {
+        /// The flushing relay's index.
+        device: u32,
+        /// Which of the three conditions fired (`"capacity"`,
+        /// `"expiration"`, `"period"`) — or `"outage-queued"` when the
+        /// batch had to wait out a cellular outage.
+        reason: &'static str,
+        /// Collected (forwarded) heartbeats in the batch.
+        buffered: usize,
+        /// The relay's own heartbeats sent along.
+        own: usize,
+        /// Total payload bytes.
+        bytes: usize,
+    },
+    /// A radio's RRC state machine moved.
+    RrcTransition {
+        /// The device whose radio moved.
+        device: u32,
+        /// State label before (`"idle"`, `"dch"`, `"fach"`).
+        from: &'static str,
+        /// State label after.
+        to: &'static str,
+        /// How long the radio dwelt in `from`, seconds.
+        dwell_secs: f64,
+    },
+    /// A UE matched a relay and starts establishing a D2D link.
+    RelayMatch {
+        /// The matching UE.
+        device: u32,
+        /// The chosen relay.
+        relay: u32,
+    },
+    /// A UE's attachment tore down (link close, rematch, fault, death).
+    RelayDepart {
+        /// The detaching UE.
+        device: u32,
+        /// The relay it was attached to.
+        relay: u32,
+    },
+    /// A heartbeat took the cellular fallback path.
+    Fallback {
+        /// The rescuing device.
+        device: u32,
+        /// Why (`"feedback-timeout"`, `"d2d-down"`, `"blackout"`,
+        /// `"no-relay"`, `"relay-rejected"`).
+        cause: &'static str,
+    },
+    /// A fault-plan entry fired.
+    FaultInjected {
+        /// The entry's index in the [`FaultPlan`](crate::fault::FaultPlan).
+        index: usize,
+        /// Fault kind label (`"link-drop"`, `"cellular-outage"`, ...).
+        kind: &'static str,
+        /// The targeted device, if the kind has one.
+        device: Option<u32>,
+    },
+    /// Per-phase-group energy a device accumulated (emitted at scenario
+    /// end, one event per non-zero group).
+    EnergyPhase {
+        /// The device.
+        device: u32,
+        /// Phase-group label (`"Discovery"`, `"Cellular"`, ...).
+        group: &'static str,
+        /// Charge drawn in that group, µAh.
+        uah: f64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's kind tag, as serialized in the `event` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Flush { .. } => "flush",
+            TelemetryEvent::RrcTransition { .. } => "rrc",
+            TelemetryEvent::RelayMatch { .. } => "match",
+            TelemetryEvent::RelayDepart { .. } => "depart",
+            TelemetryEvent::Fallback { .. } => "fallback",
+            TelemetryEvent::FaultInjected { .. } => "fault",
+            TelemetryEvent::EnergyPhase { .. } => "energy",
+        }
+    }
+
+    /// The device the event concerns, if device-scoped.
+    pub fn device(&self) -> Option<u32> {
+        match self {
+            TelemetryEvent::Flush { device, .. }
+            | TelemetryEvent::RrcTransition { device, .. }
+            | TelemetryEvent::RelayMatch { device, .. }
+            | TelemetryEvent::RelayDepart { device, .. }
+            | TelemetryEvent::Fallback { device, .. }
+            | TelemetryEvent::EnergyPhase { device, .. } => Some(*device),
+            TelemetryEvent::FaultInjected { device, .. } => *device,
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub event: TelemetryEvent,
+}
+
+impl EventRecord {
+    /// Serializes the record as one JSONL line (no trailing newline).
+    /// Times are integer microseconds (`t_us`) — exact, and immune to
+    /// float-parsing drift on the way back in.
+    pub fn to_jsonl(&self) -> String {
+        let t_us = self.time.saturating_since(SimTime::ZERO).as_micros();
+        let mut out = format!(
+            "{{\"t_us\":{t_us},\"event\":{}",
+            json_string(self.event.kind())
+        );
+        match &self.event {
+            TelemetryEvent::Flush {
+                device,
+                reason,
+                buffered,
+                own,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"device\":{device},\"reason\":{},\"buffered\":{buffered},\"own\":{own},\"bytes\":{bytes}",
+                    json_string(reason)
+                );
+            }
+            TelemetryEvent::RrcTransition {
+                device,
+                from,
+                to,
+                dwell_secs,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"device\":{device},\"from\":{},\"to\":{},\"dwell_secs\":{}",
+                    json_string(from),
+                    json_string(to),
+                    json_f64(*dwell_secs)
+                );
+            }
+            TelemetryEvent::RelayMatch { device, relay }
+            | TelemetryEvent::RelayDepart { device, relay } => {
+                let _ = write!(out, ",\"device\":{device},\"relay\":{relay}");
+            }
+            TelemetryEvent::Fallback { device, cause } => {
+                let _ = write!(out, ",\"device\":{device},\"cause\":{}", json_string(cause));
+            }
+            TelemetryEvent::FaultInjected {
+                index,
+                kind,
+                device,
+            } => {
+                let _ = write!(out, ",\"index\":{index},\"kind\":{}", json_string(kind));
+                if let Some(d) = device {
+                    let _ = write!(out, ",\"device\":{d}");
+                }
+            }
+            TelemetryEvent::EnergyPhase { device, group, uah } => {
+                let _ = write!(
+                    out,
+                    ",\"device\":{device},\"group\":{},\"uah\":{}",
+                    json_string(group),
+                    json_f64(*uah)
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An append-only typed event log. Disabled logs drop records for free.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    enabled: bool,
+    records: Vec<EventRecord>,
+}
+
+impl EventLog {
+    /// A disabled log.
+    pub fn disabled() -> Self {
+        EventLog::default()
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        EventLog {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// `true` if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (a no-op when disabled).
+    pub fn record(&mut self, time: SimTime, event: TelemetryEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.records.push(EventRecord { time, event });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The retained records, in recording order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Consumes the log, returning the records.
+    pub fn into_records(self) -> Vec<EventRecord> {
+        self.records
+    }
+}
+
+/// The two telemetry channels a scenario carries, constructed together.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+    /// The typed event stream.
+    pub events: EventLog,
+}
+
+impl Telemetry {
+    /// Both channels disabled (the default — zero recording cost).
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Both channels enabled.
+    pub fn enabled() -> Self {
+        Telemetry {
+            metrics: MetricsRegistry::enabled(),
+            events: EventLog::enabled(),
+        }
+    }
+
+    /// `true` if either channel records.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.events.is_enabled()
+    }
+}
+
+/// A scalar parsed back out of a JSONL event line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A quoted string (unescaped).
+    Str(String),
+    /// A number, kept as its raw token for lossless integer reads.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it parses as one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it parses as one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line (as produced by
+/// [`EventRecord::to_jsonl`]) into a field map. Returns [`None`] on
+/// malformed input or non-scalar values — the timeline reader skips
+/// such lines rather than guessing.
+pub fn parse_jsonl_line(line: &str) -> Option<BTreeMap<String, JsonScalar>> {
+    let line = line.trim();
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Skip whitespace and a separating comma.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        let Some(&(start, c)) = chars.peek() else {
+            break;
+        };
+        if c != '"' {
+            return None;
+        }
+        let key_end = scan_string(body, start)?;
+        let key = unescape(&body[start + 1..key_end])?;
+        // Advance past the key and the colon.
+        while matches!(chars.peek(), Some((i, _)) if *i <= key_end) {
+            chars.next();
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        let (vstart, vc) = *chars.peek()?;
+        let value = if vc == '"' {
+            let vend = scan_string(body, vstart)?;
+            while matches!(chars.peek(), Some((i, _)) if *i <= vend) {
+                chars.next();
+            }
+            JsonScalar::Str(unescape(&body[vstart + 1..vend])?)
+        } else {
+            let mut vend = body.len();
+            for (i, c) in body[vstart..].char_indices() {
+                if c == ',' {
+                    vend = vstart + i;
+                    break;
+                }
+            }
+            while matches!(chars.peek(), Some((i, _)) if *i < vend) {
+                chars.next();
+            }
+            let raw = body[vstart..vend].trim();
+            match raw {
+                "true" => JsonScalar::Bool(true),
+                "false" => JsonScalar::Bool(false),
+                "null" => JsonScalar::Null,
+                num if num.parse::<f64>().is_ok() => JsonScalar::Num(num.to_string()),
+                _ => return None,
+            }
+        };
+        fields.insert(key, value);
+    }
+    Some(fields)
+}
+
+/// Finds the closing quote of the string starting at `open` (which must
+/// index a `"`), honouring backslash escapes. Returns the index of the
+/// closing quote.
+fn scan_string(s: &str, open: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Undoes [`json_string`]'s escaping.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            '/' => out.push('/'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 100.0] {
+            h.observe(v);
+        }
+        // le=1: {0.5, 1.0}; le=2: {1.5, 2.0}; le=4: {3.9, 4.0}; +Inf: {100}.
+        assert_eq!(h.counts(), &[2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - 112.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observation_panics() {
+        Histogram::new(&[1.0]).observe(f64::NAN);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        m.incr("x");
+        m.set_gauge("y", 1.0);
+        m.observe("z", DWELL_BUCKETS, 1.0);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_everything() {
+        let mut a = MetricsRegistry::enabled();
+        a.incr("c");
+        a.add_gauge("g", 1.5);
+        a.observe("h", SIZE_BUCKETS, 3.0);
+        let mut b = MetricsRegistry::enabled();
+        b.add("c", 2);
+        b.add_gauge("g", 0.5);
+        b.observe("h", SIZE_BUCKETS, 100.0);
+        b.incr("only_b");
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("c"), 3);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.gauges["g"], 2.0);
+        let h = &merged.histograms["h"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.counts().last(), Some(&1), "100 lands in +Inf");
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_parseable_shape() {
+        let mut m = MetricsRegistry::enabled();
+        m.incr("hbr_flush_total{reason=\"capacity\"}");
+        m.set_gauge("hbr_energy_uah", 581.25);
+        m.observe("hbr_dwell", DWELL_BUCKETS, 3.0);
+        let json = m.snapshot().to_json();
+        assert_eq!(json, m.snapshot().to_json(), "rendering is deterministic");
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"hbr_flush_total{reason=\\\"capacity\\\"}\":1"));
+        assert!(json.contains("\"hbr_energy_uah\":581.25"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_expands_histograms() {
+        let mut m = MetricsRegistry::enabled();
+        m.observe("hbr_dwell_seconds{state=\"dch\"}", &[1.0, 5.0], 3.0);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("hbr_dwell_seconds_bucket{state=\"dch\",le=\"1.0\"} 0"));
+        assert!(text.contains("hbr_dwell_seconds_bucket{state=\"dch\",le=\"5.0\"} 1"));
+        assert!(text.contains("hbr_dwell_seconds_bucket{state=\"dch\",le=\"+Inf\"} 1"));
+        assert!(text.contains("hbr_dwell_seconds_count{state=\"dch\"} 1"));
+        assert!(text.contains("hbr_dwell_seconds_sum{state=\"dch\"} 3.0"));
+    }
+
+    #[test]
+    fn event_jsonl_round_trips() {
+        let record = EventRecord {
+            time: SimTime::from_millis(812_500),
+            event: TelemetryEvent::Flush {
+                device: 7,
+                reason: "capacity",
+                buffered: 8,
+                own: 1,
+                bytes: 666,
+            },
+        };
+        let line = record.to_jsonl();
+        let fields = parse_jsonl_line(&line).expect("line parses");
+        assert_eq!(fields["t_us"].as_u64(), Some(812_500_000));
+        assert_eq!(fields["event"].as_str(), Some("flush"));
+        assert_eq!(fields["device"].as_u64(), Some(7));
+        assert_eq!(fields["reason"].as_str(), Some("capacity"));
+        assert_eq!(fields["buffered"].as_u64(), Some(8));
+    }
+
+    #[test]
+    fn every_event_kind_serializes_and_parses() {
+        let events = [
+            TelemetryEvent::Flush {
+                device: 0,
+                reason: "period",
+                buffered: 2,
+                own: 1,
+                bytes: 222,
+            },
+            TelemetryEvent::RrcTransition {
+                device: 1,
+                from: "dch",
+                to: "fach",
+                dwell_secs: 3.25,
+            },
+            TelemetryEvent::RelayMatch {
+                device: 2,
+                relay: 0,
+            },
+            TelemetryEvent::RelayDepart {
+                device: 2,
+                relay: 0,
+            },
+            TelemetryEvent::Fallback {
+                device: 3,
+                cause: "feedback-timeout",
+            },
+            TelemetryEvent::FaultInjected {
+                index: 0,
+                kind: "cellular-outage",
+                device: None,
+            },
+            TelemetryEvent::EnergyPhase {
+                device: 4,
+                group: "Cellular",
+                uah: 1234.5,
+            },
+        ];
+        for event in events {
+            let kind = event.kind();
+            let line = EventRecord {
+                time: SimTime::from_secs(1),
+                event,
+            }
+            .to_jsonl();
+            let fields = parse_jsonl_line(&line).unwrap_or_else(|| panic!("parse {line}"));
+            assert_eq!(fields["event"].as_str(), Some(kind), "{line}");
+        }
+    }
+
+    #[test]
+    fn disabled_event_log_is_free() {
+        let mut log = EventLog::disabled();
+        log.record(
+            SimTime::ZERO,
+            TelemetryEvent::Fallback {
+                device: 0,
+                cause: "feedback-timeout",
+            },
+        );
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl_line("not json").is_none());
+        assert!(parse_jsonl_line("{\"unterminated\":\"").is_none());
+        assert!(parse_jsonl_line("{\"deep\":{\"no\":1}}").is_none());
+        assert!(parse_jsonl_line("{}")
+            .map(|m| m.is_empty())
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_scalars() {
+        let fields =
+            parse_jsonl_line("{\"s\":\"a\\\"b\\n\",\"n\":-1.5,\"b\":true,\"z\":null}").unwrap();
+        assert_eq!(fields["s"].as_str(), Some("a\"b\n"));
+        assert_eq!(fields["n"].as_f64(), Some(-1.5));
+        assert_eq!(fields["b"], JsonScalar::Bool(true));
+        assert_eq!(fields["z"], JsonScalar::Null);
+    }
+
+    #[test]
+    fn json_f64_keeps_integral_values_marked() {
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(3.25), "3.25");
+        assert_eq!(json_f64(0.1), "0.1");
+    }
+}

@@ -78,10 +78,18 @@ impl Tracer {
     }
 
     /// Records one entry (a no-op when disabled).
+    ///
+    /// Entries must arrive in nondecreasing time order — the simulation
+    /// clock only moves forward — which is what lets
+    /// [`between`](Self::between) binary-search the ring.
     pub fn record(&mut self, time: SimTime, label: &'static str, detail: impl Into<String>) {
         if self.capacity == 0 {
             return;
         }
+        debug_assert!(
+            self.entries.back().is_none_or(|last| last.time <= time),
+            "trace entries must be recorded in time order"
+        );
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
@@ -114,10 +122,15 @@ impl Tracer {
     }
 
     /// Entries whose time lies in `[from, to)`.
+    ///
+    /// The ring is time-sorted (see [`record`](Self::record)), so both
+    /// window edges are found by binary search and the iterator walks
+    /// only the matching slice — O(log n) to locate a window instead of
+    /// scanning the whole ring.
     pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEntry> {
-        self.entries
-            .iter()
-            .filter(move |e| e.time >= from && e.time < to)
+        let start = self.entries.partition_point(|e| e.time < from);
+        let end = self.entries.partition_point(|e| e.time < to);
+        self.entries.range(start..end.max(start))
     }
 
     /// Renders the retained entries as text, one per line.
@@ -171,6 +184,44 @@ mod tests {
             .collect();
         assert_eq!(window.len(), 3);
         assert_eq!(window[0].time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn between_handles_edges_and_duplicates() {
+        let mut t = Tracer::with_capacity(16);
+        for secs in [1u64, 2, 2, 2, 5, 8] {
+            t.record(SimTime::from_secs(secs), "tick", "");
+        }
+        // All duplicates at t=2 are included; the half-open end excludes
+        // the entry sitting exactly at `to`.
+        assert_eq!(
+            t.between(SimTime::from_secs(2), SimTime::from_secs(5))
+                .count(),
+            3
+        );
+        // Windows before, after and between entries are empty.
+        assert_eq!(t.between(SimTime::ZERO, SimTime::from_secs(1)).count(), 0);
+        assert_eq!(
+            t.between(SimTime::from_secs(3), SimTime::from_secs(5))
+                .count(),
+            0
+        );
+        assert_eq!(
+            t.between(SimTime::from_secs(9), SimTime::from_secs(99))
+                .count(),
+            0
+        );
+        // A reversed window is empty rather than a panic.
+        assert_eq!(
+            t.between(SimTime::from_secs(5), SimTime::from_secs(2))
+                .count(),
+            0
+        );
+        // The whole-ring window matches iter().
+        assert_eq!(
+            t.between(SimTime::ZERO, SimTime::from_secs(100)).count(),
+            t.len()
+        );
     }
 
     #[test]

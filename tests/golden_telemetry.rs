@@ -1,0 +1,185 @@
+//! Golden-telemetry regression: the metrics snapshot and event stream
+//! of a fixed-seed faulted scenario are byte-reproducible — identical
+//! JSON and JSONL — across runs *and* across sweep thread counts,
+//! pinned to a committed hash, mirroring `golden_trace.rs`.
+//!
+//! If an intentional engine or telemetry change shifts the output,
+//! re-run with `HBR_PRINT_GOLDEN=1 cargo test --test golden_telemetry
+//! -- --nocapture` and update the constant below.
+
+use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::bench::run_sweep_with_threads;
+use d2d_heartbeat::core::world::{
+    DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport,
+};
+use d2d_heartbeat::mobility::{Mobility, Position};
+use d2d_heartbeat::sim::fault::FaultKind;
+use d2d_heartbeat::sim::TelemetryEvent;
+use d2d_heartbeat::sim::{DeviceId, SimDuration, SimTime};
+
+/// FNV-1a over the serialized output — dependency-free and stable.
+fn fnv1a(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The committed fingerprint of the telemetry sweep below: every
+/// point's metrics JSON plus its full JSONL event stream.
+const GOLDEN_TELEMETRY_HASH: u64 = 0xbe99_77e6_695b_f60e;
+
+/// The same faulted scenario as `golden_trace.rs`, with telemetry on.
+fn faulted_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), seed);
+    config.mode = Mode::D2dFramework;
+    config.telemetry = true;
+    // Exercise every fault kind in one run.
+    config.faults.schedule(
+        SimTime::from_secs(700),
+        FaultKind::LinkDegrade {
+            device: DeviceId::new(1),
+            extra_loss: 0.9,
+            duration: SimDuration::from_secs(400),
+        },
+    );
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::LinkDrop {
+            device: DeviceId::new(2),
+            d2d_down_for: SimDuration::from_secs(600),
+        },
+    );
+    config.faults.schedule(
+        SimTime::from_secs(1800),
+        FaultKind::CellularOutage {
+            duration: SimDuration::from_secs(450),
+        },
+    );
+    config.faults.schedule(
+        SimTime::from_secs(3000),
+        FaultKind::DiscoveryBlackout {
+            duration: SimDuration::from_secs(300),
+        },
+    );
+    config.faults.schedule(
+        SimTime::from_secs(4000),
+        FaultKind::RelayDeparture {
+            device: DeviceId::new(0),
+            rejoin_after: Some(SimDuration::from_secs(900)),
+        },
+    );
+    config.faults.schedule(
+        SimTime::from_secs(6000),
+        FaultKind::PayloadLoss {
+            device: DeviceId::new(3),
+            probability: 0.7,
+            duration: SimDuration::from_secs(500),
+        },
+    );
+    config.add_device(spec(Role::Relay, 0.0));
+    for x in 1..=4 {
+        config.add_device(spec(Role::Ue, x as f64));
+    }
+    config
+}
+
+fn spec(role: Role, x: f64) -> DeviceSpec {
+    DeviceSpec {
+        role,
+        apps: vec![AppProfile::wechat()],
+        mobility: Mobility::stationary(Position::new(x, 0.0)),
+        battery_mah: None,
+    }
+}
+
+fn faulted_report(seed: u64) -> ScenarioReport {
+    Scenario::new(faulted_config(seed)).run()
+}
+
+/// One point's telemetry, serialized exactly as the CLI would write it.
+fn telemetry_text(report: &ScenarioReport) -> String {
+    let mut out = report.metrics.to_json();
+    out.push('\n');
+    for record in &report.events {
+        out.push_str(&record.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+fn sweep(threads: usize) -> String {
+    let points: Vec<u64> = vec![97, 98, 99, 100];
+    run_sweep_with_threads(threads, 97, points, |&seed, _| {
+        telemetry_text(&faulted_report(seed))
+    })
+    .join("===\n")
+}
+
+#[test]
+fn telemetry_is_byte_reproducible_across_thread_counts() {
+    let single = sweep(1);
+    let parallel = sweep(4);
+    assert_eq!(
+        single, parallel,
+        "telemetry output depends on scheduling — determinism broken"
+    );
+    if std::env::var("HBR_PRINT_GOLDEN").is_ok() {
+        println!("golden telemetry hash: {:#018x}", fnv1a(&single));
+    }
+    assert_eq!(
+        fnv1a(&single),
+        GOLDEN_TELEMETRY_HASH,
+        "the golden telemetry drifted; if the engine change is \
+         intentional, re-run with HBR_PRINT_GOLDEN=1 and update \
+         GOLDEN_TELEMETRY_HASH"
+    );
+}
+
+#[test]
+fn repeated_runs_emit_identical_telemetry() {
+    assert_eq!(
+        telemetry_text(&faulted_report(97)),
+        telemetry_text(&faulted_report(97))
+    );
+}
+
+#[test]
+fn fault_injected_events_align_with_the_plan() {
+    let config = faulted_config(97);
+    let plan = config.faults.clone();
+    let report = Scenario::new(config).run();
+
+    let injected: Vec<(SimTime, usize, &'static str, Option<u32>)> = report
+        .events
+        .iter()
+        .filter_map(|r| match r.event {
+            TelemetryEvent::FaultInjected {
+                index,
+                kind,
+                device,
+            } => Some((r.time, index, kind, device)),
+            _ => None,
+        })
+        .collect();
+
+    // Every scheduled entry fired exactly once, at its configured time,
+    // with the plan's own kind label and target device.
+    assert_eq!(injected.len(), plan.events().len());
+    for (i, scheduled) in plan.events().iter().enumerate() {
+        let &(at, index, kind, device) = &injected[i];
+        assert_eq!(index, i, "fault events must keep plan order");
+        assert_eq!(at, scheduled.at);
+        assert_eq!(kind, scheduled.kind.label());
+        assert_eq!(device, scheduled.kind.device().map(|d| d.index()));
+    }
+
+    // The matching counters agree with the stream.
+    let total: u64 = report
+        .metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("hbr_faults_injected_total"))
+        .map(|(_, n)| n)
+        .sum();
+    assert_eq!(total, plan.events().len() as u64);
+}
