@@ -1,0 +1,120 @@
+//! Crowd-engine bench: the sharded per-cell engine vs the legacy
+//! single-queue `Scenario` over the same fleet.
+//!
+//! Measures whole runs (1 simulated hour, d2d mode, 10% relays on a
+//! 1 000 m square) and records throughput — phone·sim-seconds per
+//! wall-second — to `BENCH_crowd.json` at the repository root, so the
+//! scaling behaviour is tracked as a build artefact rather than a
+//! claim in a commit message.
+//!
+//! Note the two engines are *different scenarios* by design: the legacy
+//! engine matches relays across the whole field, the sharded engine
+//! partitions by home cell first. The comparison is engine throughput
+//! over the same fleet, not output equivalence (that contract lives in
+//! `tests/sharded_crowd.rs`, sharded-vs-sharded).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbr_bench::{run_crowd, CrowdConfig};
+use hbr_core::fleet::FleetBuilder;
+use hbr_core::world::{Mode, Scenario, ScenarioConfig};
+use hbr_sim::SimDuration;
+
+const AREA_SIDE_M: f64 = 1_000.0;
+const HOURS: u64 = 1;
+const SEED: u64 = 7;
+const SIZES: [usize; 2] = [2_000, 10_000];
+
+/// The legacy path: every device in one `Scenario`, one event queue.
+fn run_legacy(phones: usize) -> u64 {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(HOURS * 3600), SEED);
+    config.mode = Mode::D2dFramework;
+    for spec in FleetBuilder::new(phones, phones / 10)
+        .area_side_m(AREA_SIDE_M)
+        .build(SEED)
+    {
+        config.add_device(spec);
+    }
+    Scenario::new(config).run().total_l3
+}
+
+/// The sharded path: per-cell engines, single worker (same core count
+/// as the legacy run, so the comparison isolates the architecture).
+fn run_sharded(phones: usize, shards: usize) -> u64 {
+    run_crowd(&CrowdConfig {
+        phones,
+        relays: phones / 10,
+        hours: HOURS,
+        area_side_m: AREA_SIDE_M,
+        seed: SEED,
+        push_mins: 0,
+        mode: Mode::D2dFramework,
+        faults: Default::default(),
+        trace_capacity: 0,
+        telemetry: false,
+        shards: Some(shards),
+    })
+    .total_l3
+}
+
+fn bench_crowd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowd");
+    group.sample_size(10);
+    let n = SIZES[0];
+    group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, &n| {
+        b.iter(|| black_box(run_legacy(n)))
+    });
+    group.bench_with_input(BenchmarkId::new("sharded", n), &n, |b, &n| {
+        b.iter(|| black_box(run_sharded(n, 1)))
+    });
+    group.finish();
+}
+
+/// Times whole runs with `Instant` and records throughput as JSON.
+fn emit_crowd_json(_c: &mut Criterion) {
+    let sim_secs = (HOURS * 3600) as f64;
+    let mut entries = Vec::new();
+    for &n in &SIZES {
+        let time_secs = |run: &dyn Fn() -> u64| {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                black_box(run());
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let legacy_secs = time_secs(&|| run_legacy(n));
+        let sharded_secs = time_secs(&|| run_sharded(n, 1));
+        let legacy_tput = n as f64 * sim_secs / legacy_secs;
+        let sharded_tput = n as f64 * sim_secs / sharded_secs;
+        println!(
+            "crowd n={n:>6}: legacy {legacy_secs:>7.2} s ({legacy_tput:.3e} ph·s/s)  \
+             sharded {sharded_secs:>7.2} s ({sharded_tput:.3e} ph·s/s)"
+        );
+        entries.push(format!(
+            "    {{ \"phones\": {n}, \"legacy_secs\": {legacy_secs:.3}, \
+             \"sharded_secs\": {sharded_secs:.3}, \
+             \"legacy_throughput\": {legacy_tput:.0}, \
+             \"sharded_throughput\": {sharded_tput:.0} }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_crowd\",\n  \"area_side_m\": {AREA_SIDE_M},\n  \
+         \"sim_hours\": {HOURS},\n  \"mode\": \"d2d\",\n  \
+         \"throughput_unit\": \"phone-sim-seconds per wall-second\",\n  \
+         \"note\": \"single worker on a single-core host; shards change the architecture, not the core count\",\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crowd.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_crowd.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_crowd.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_crowd, emit_crowd_json);
+criterion_main!(benches);

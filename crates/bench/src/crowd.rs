@@ -1,0 +1,391 @@
+//! The sharded crowd engine: one `Scenario` per base-station cell,
+//! stepped in epoch lockstep across worker threads, merged into a
+//! single fleet report that is **byte-identical at any shard count**.
+//!
+//! A single [`Scenario`] is one event queue on one core, which caps
+//! `hbr crowd` far below the million-phone populations the paper's
+//! city-scale framing implies. This module partitions the fleet by
+//! *cell* — a fixed spatial rule that depends only on the deployment
+//! area, never on the shard count — and gives every cell its own
+//! engine:
+//!
+//! - its own event queue (a private [`Scenario`]),
+//! - its own RNG stream, seeded [`derive_seed`]`(seed, cell_index)` so
+//!   no cell ever observes randomness consumed by another (the same
+//!   splitmix64 discipline the sweep harness established),
+//! - its own telemetry registry and event log,
+//! - its own slice of the deployment field (only its devices).
+//!
+//! Shards are *worker threads over cells*: `--shards S` spreads the
+//! cells across `S` threads that advance in lockstep through a fixed
+//! number of epoch barriers. At each barrier every cell publishes an
+//! [`EpochPulse`] (its cross-shard "message"); one thread folds the
+//! pulses **in cell order** into a fleet-level digest, recorded as a
+//! `FleetPulse` telemetry event and `hbr_fleet_*` gauges. Because the
+//! partition, the per-cell seeds and the fold order are all functions
+//! of the scenario alone, the merged report, metrics snapshot and
+//! event stream cannot depend on how many threads carried the cells.
+//!
+//! Determinism rules, in one place:
+//!
+//! 1. cell membership = initial position on a fixed grid (`area` only);
+//! 2. cell seed = `derive_seed(scenario_seed, cell_index)`;
+//! 3. every fold — pulses, device rows, metrics, events, traces — runs
+//!    in ascending cell order, then stable-sorts by time where a
+//!    timeline is expected;
+//! 4. nothing a worker computes ever feeds back into another cell's
+//!    dynamics mid-epoch.
+
+use std::collections::BTreeMap;
+use std::sync::{Barrier, Mutex};
+use std::thread;
+
+use hbr_core::fleet::FleetBuilder;
+use hbr_core::world::{DeviceSpec, EpochPulse, Mode, Scenario, ScenarioConfig, ScenarioReport};
+use hbr_sim::fault::FaultPlan;
+use hbr_sim::telemetry::{EventRecord, MetricsRegistry, TelemetryEvent};
+use hbr_sim::{DeviceId, SimDuration, SimTime};
+
+use crate::sweep::{derive_seed, sweep_threads};
+
+/// Nominal base-station cell side: the fleet is partitioned on a
+/// `ceil(area / 100 m)`² grid. The default 40 m crowd area stays a
+/// single cell (identical topology to the unsharded engine); a
+/// city-scale kilometre square becomes a 10×10 grid of cells.
+pub const NOMINAL_CELL_SIDE_M: f64 = 100.0;
+
+/// Epoch barriers per run. Fixed — the barrier schedule is part of the
+/// deterministic contract, so it must not depend on shards or cores.
+pub const EPOCHS: u64 = 8;
+
+/// Everything `hbr crowd` needs to run one mode through the sharded
+/// engine.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Total phones in the fleet.
+    pub phones: usize,
+    /// Volunteer relays among them.
+    pub relays: usize,
+    /// Scenario length in hours.
+    pub hours: u64,
+    /// Deployment area side, metres.
+    pub area_side_m: f64,
+    /// Scenario seed (per-cell engines derive their streams from it).
+    pub seed: u64,
+    /// Mean minutes between mobile-terminated pushes (0 disables).
+    pub push_mins: u64,
+    /// Which system to run.
+    pub mode: Mode,
+    /// Deterministic fault schedule; global faults reach every cell,
+    /// device-targeted faults are routed to the owning cell.
+    pub faults: FaultPlan,
+    /// Per-cell trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Record metrics and events.
+    pub telemetry: bool,
+    /// Worker threads ([`None`] = auto: sweep threads capped by the
+    /// cell count).
+    pub shards: Option<usize>,
+}
+
+/// Cells per axis for a deployment area.
+pub fn cell_grid(area_side_m: f64) -> usize {
+    ((area_side_m / NOMINAL_CELL_SIDE_M).ceil() as usize).max(1)
+}
+
+/// The cell a position belongs to on a `k`×`k` grid over the area.
+fn cell_of(x: f64, y: f64, area_side_m: f64, k: usize) -> usize {
+    let tile = area_side_m / k as f64;
+    let clamp = |v: f64| ((v / tile) as usize).min(k - 1);
+    clamp(y) * k + clamp(x)
+}
+
+/// The shard count an unspecified `--shards` resolves to: the sweep
+/// harness's thread count (`RAYON_NUM_THREADS` / `HBR_THREADS` /
+/// available parallelism), capped by the number of populated cells.
+pub fn auto_shards(cells: usize) -> usize {
+    sweep_threads().clamp(1, cells.max(1))
+}
+
+/// One populated cell: its engine, and the map from cell-local device
+/// indices back to fleet-global ones.
+struct Cell {
+    scenario: Option<Scenario>,
+    report: Option<ScenarioReport>,
+    global_ids: Vec<u32>,
+}
+
+/// What the barrier leader accumulates across epochs.
+struct FleetLog {
+    metrics: MetricsRegistry,
+    events: Vec<EventRecord>,
+}
+
+/// Runs one crowd mode through the sharded engine and merges the
+/// per-cell results into a single fleet report. The output is a pure
+/// function of the config — the shard count only chooses how many
+/// threads carry the cells.
+pub fn run_crowd(config: &CrowdConfig) -> ScenarioReport {
+    let duration = SimDuration::from_secs(config.hours * 3600);
+    let fleet = FleetBuilder::new(config.phones, config.relays)
+        .area_side_m(config.area_side_m)
+        .build(config.seed);
+    let k = cell_grid(config.area_side_m);
+
+    // Partition rule: a device lives in the cell its *initial* position
+    // falls in, forever (home-cell D2D; wanderers that stray simply fail
+    // range checks and fall back to cellular, same as strangers in the
+    // unsharded engine). Membership depends only on (fleet, area).
+    let homes: Vec<usize> = fleet
+        .iter()
+        .map(|spec| {
+            let p = spec.mobility.position();
+            cell_of(p.x, p.y, config.area_side_m, k)
+        })
+        .collect();
+    let mut members: BTreeMap<usize, Vec<(usize, &DeviceSpec)>> = BTreeMap::new();
+    for (i, spec) in fleet.iter().enumerate() {
+        members.entry(homes[i]).or_default().push((i, spec));
+    }
+
+    // Build every populated cell's private engine, in cell order.
+    let mut cells: Vec<Cell> = Vec::with_capacity(members.len());
+    for (&cell_index, devices) in &members {
+        let mut cell_config = ScenarioConfig::new(duration, derive_seed(config.seed, cell_index));
+        cell_config.mode = config.mode;
+        cell_config.trace_capacity = config.trace_capacity;
+        cell_config.telemetry = config.telemetry;
+        if config.push_mins > 0 {
+            cell_config.push_interval = Some(SimDuration::from_secs(config.push_mins * 60));
+        }
+        // Route the fault plan: global faults are broadcast to every
+        // cell (each reports its own injection), device-targeted faults
+        // go to the owning cell with the id translated to cell-local.
+        // Targets outside the fleet are dropped.
+        let local_of: BTreeMap<usize, u32> = devices
+            .iter()
+            .enumerate()
+            .map(|(local, (global, _))| (*global, local as u32))
+            .collect();
+        for event in config.faults.events() {
+            let kind = match event.kind.device() {
+                None => Some(event.kind),
+                Some(target) => {
+                    let global = target.index() as usize;
+                    if homes.get(global) == Some(&cell_index) {
+                        Some(retarget(event.kind, DeviceId::new(local_of[&global])))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(kind) = kind {
+                cell_config.faults.schedule(event.at, kind);
+            }
+        }
+        let mut global_ids = Vec::with_capacity(devices.len());
+        for (global, spec) in devices {
+            global_ids.push(*global as u32);
+            cell_config.add_device((*spec).clone());
+        }
+        cells.push(Cell {
+            scenario: Some(Scenario::new(cell_config)),
+            report: None,
+            global_ids,
+        });
+    }
+
+    let cell_count = cells.len();
+    let shards = config
+        .shards
+        .unwrap_or_else(|| auto_shards(cell_count))
+        .clamp(1, cell_count.max(1));
+
+    // Epoch boundaries on the microsecond grid — integer math (widened
+    // so city-scale horizons cannot overflow), so every shard count
+    // sees the exact same barrier times; the last lands on the horizon.
+    let total_us = duration.as_micros();
+    let boundaries: Vec<SimTime> = (1..=EPOCHS)
+        .map(|e| {
+            let us = (u128::from(total_us) * u128::from(e) / u128::from(EPOCHS)) as u64;
+            SimTime::ZERO + SimDuration::from_micros(us)
+        })
+        .collect();
+
+    let pulses: Mutex<Vec<EpochPulse>> = Mutex::new(vec![EpochPulse::default(); cell_count]);
+    let fleet_log = Mutex::new(FleetLog {
+        metrics: MetricsRegistry::enabled(),
+        events: Vec::new(),
+    });
+
+    // Contiguous chunks of cells per worker; the chunk layout only
+    // affects which thread runs a cell, never the cell's behaviour.
+    // The barrier must match the worker count, which ceil-division can
+    // leave below the requested shard count.
+    let chunk = cell_count.div_ceil(shards);
+    let workers = cell_count.div_ceil(chunk);
+    let barrier = Barrier::new(workers);
+    thread::scope(|scope| {
+        for (chunk_index, worker_cells) in cells.chunks_mut(chunk).enumerate() {
+            let base = chunk_index * chunk;
+            let pulses = &pulses;
+            let fleet_log = &fleet_log;
+            let barrier = &barrier;
+            let boundaries = &boundaries;
+            let telemetry = config.telemetry;
+            scope.spawn(move || {
+                for (epoch, &limit) in boundaries.iter().enumerate() {
+                    for (offset, cell) in worker_cells.iter_mut().enumerate() {
+                        let scenario = cell.scenario.as_mut().expect("cell still running");
+                        scenario.run_until(limit);
+                        pulses.lock().expect("pulse lock")[base + offset] = scenario.pulse();
+                    }
+                    let folded = barrier.wait().is_leader();
+                    if folded {
+                        let snapshot = pulses.lock().expect("pulse lock").clone();
+                        let mut fleet = EpochPulse::default();
+                        for pulse in &snapshot {
+                            fleet.absorb(pulse);
+                        }
+                        if telemetry {
+                            let mut log = fleet_log.lock().expect("fleet lock");
+                            log.metrics
+                                .set_gauge("hbr_fleet_forwards", fleet.forwards as f64);
+                            log.metrics
+                                .set_gauge("hbr_fleet_fallbacks", fleet.fallbacks as f64);
+                            log.metrics
+                                .set_gauge("hbr_fleet_outage_queued", fleet.outage_queued as f64);
+                            log.metrics.set_gauge("hbr_fleet_l3", fleet.l3 as f64);
+                            log.metrics.incr("hbr_fleet_epochs_total");
+                            log.events.push(EventRecord {
+                                time: limit,
+                                event: TelemetryEvent::FleetPulse {
+                                    epoch: epoch as u32,
+                                    cells: snapshot.len() as u32,
+                                    forwards: fleet.forwards,
+                                    fallbacks: fleet.fallbacks,
+                                    outage_queued: fleet.outage_queued,
+                                    l3: fleet.l3,
+                                },
+                            });
+                        }
+                    }
+                    // Second barrier: nobody starts the next epoch until
+                    // the fold has read this epoch's pulses.
+                    barrier.wait();
+                }
+                for cell in worker_cells.iter_mut() {
+                    let scenario = cell.scenario.take().expect("cell still running");
+                    cell.report = Some(scenario.complete());
+                }
+            });
+        }
+    });
+
+    let fleet_log = fleet_log.into_inner().expect("fleet lock");
+    merge_reports(cells, fleet_log, config.telemetry)
+}
+
+/// Retargets a device-scoped fault at a cell-local id.
+fn retarget(kind: hbr_sim::fault::FaultKind, local: DeviceId) -> hbr_sim::fault::FaultKind {
+    use hbr_sim::fault::FaultKind::*;
+    match kind {
+        LinkDrop { d2d_down_for, .. } => LinkDrop {
+            device: local,
+            d2d_down_for,
+        },
+        LinkDegrade {
+            extra_loss,
+            duration,
+            ..
+        } => LinkDegrade {
+            device: local,
+            extra_loss,
+            duration,
+        },
+        RelayDeparture { rejoin_after, .. } => RelayDeparture {
+            device: local,
+            rejoin_after,
+        },
+        PayloadLoss {
+            probability,
+            duration,
+            ..
+        } => PayloadLoss {
+            device: local,
+            probability,
+            duration,
+        },
+        global @ (CellularOutage { .. } | DiscoveryBlackout { .. }) => global,
+    }
+}
+
+/// Folds the finished cells (in cell order) plus the fleet log into one
+/// report shaped exactly like an unsharded [`ScenarioReport`].
+fn merge_reports(cells: Vec<Cell>, fleet_log: FleetLog, telemetry: bool) -> ScenarioReport {
+    let mut reports: Vec<(Vec<u32>, ScenarioReport)> = cells
+        .into_iter()
+        .map(|c| (c.global_ids, c.report.expect("cell finished")))
+        .collect();
+
+    let metrics = if telemetry {
+        let fleet_snapshot = fleet_log.metrics.snapshot();
+        crate::merge_snapshots(
+            reports
+                .iter()
+                .map(|(_, r)| &r.metrics)
+                .chain(std::iter::once(&fleet_snapshot)),
+        )
+    } else {
+        Default::default()
+    };
+
+    let mut merged = ScenarioReport {
+        devices: Vec::new(),
+        total_l3: 0,
+        total_rrc: 0,
+        delivered: 0,
+        rejected_expired: 0,
+        duplicates: 0,
+        offline_secs: 0.0,
+        pushes_delivered: 0,
+        pushes_missed: 0,
+        total_energy_uah: 0.0,
+        trace: Vec::new(),
+        trace_dropped: 0,
+        metrics,
+        events: Vec::new(),
+    };
+
+    for (global_ids, report) in &mut reports {
+        merged.total_l3 += report.total_l3;
+        merged.total_rrc += report.total_rrc;
+        merged.delivered += report.delivered;
+        merged.rejected_expired += report.rejected_expired;
+        merged.duplicates += report.duplicates;
+        merged.offline_secs += report.offline_secs;
+        merged.pushes_delivered += report.pushes_delivered;
+        merged.pushes_missed += report.pushes_missed;
+        merged.total_energy_uah += report.total_energy_uah;
+        merged.trace_dropped += report.trace_dropped;
+        merged.trace.append(&mut report.trace);
+        for (row, mut device_report) in report.devices.drain(..).enumerate() {
+            device_report.device = DeviceId::new(global_ids[row]);
+            merged.devices.push(device_report);
+        }
+        for mut record in report.events.drain(..) {
+            record
+                .event
+                .remap_devices(|local| global_ids[local as usize]);
+            merged.events.push(record);
+        }
+    }
+    merged.events.extend(fleet_log.events);
+
+    // Stable sorts: equal timestamps keep cell order, so the merged
+    // timeline is a pure function of the scenario.
+    merged.devices.sort_by_key(|d| d.device.index());
+    merged.events.sort_by_key(|r| r.time);
+    merged.trace.sort_by_key(|t| t.time);
+    merged
+}

@@ -25,8 +25,10 @@ use std::path::Path;
 
 use hbr_sim::MetricsSnapshot;
 
+pub mod crowd;
 pub mod sweep;
 
+pub use crowd::{auto_shards, cell_grid, run_crowd, CrowdConfig};
 pub use sweep::{derive_seed, run_sweep, run_sweep_with_threads, sweep_threads};
 
 /// Merges per-run [`MetricsSnapshot`]s into one, strictly in input

@@ -54,6 +54,19 @@ impl BaseStation {
         }
     }
 
+    /// A base station that keeps only aggregate counters (total layer-3
+    /// messages, RRC connections), dropping the per-message capture log.
+    /// The crowd engine's cells use this; see [`SignalingCapture::compact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive and finite.
+    pub fn compact(capacity_msgs_per_sec: f64) -> Self {
+        let mut bs = BaseStation::new(capacity_msgs_per_sec);
+        bs.capture = SignalingCapture::compact();
+        bs
+    }
+
     /// Records one radio's activity burst at the cell.
     pub fn record(&mut self, device: DeviceId, activity: &RadioActivity, new_connections: u32) {
         self.capture

@@ -86,6 +86,8 @@ pub struct CapturedMessage {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SignalingCapture {
     entries: Vec<CapturedMessage>,
+    counted: u64,
+    compact: bool,
 }
 
 impl SignalingCapture {
@@ -94,8 +96,25 @@ impl SignalingCapture {
         SignalingCapture::default()
     }
 
+    /// Creates a capture that keeps only the message count, dropping the
+    /// per-message log. [`SignalingCapture::total`] behaves exactly as
+    /// on a full capture; entry-level queries ([`SignalingCapture::entries`],
+    /// [`SignalingCapture::count_for`], rate windows) see an empty log.
+    /// The crowd engine uses this so a city-scale cell does not retain
+    /// every layer-3 message it ever saw.
+    pub fn compact() -> Self {
+        SignalingCapture {
+            compact: true,
+            ..SignalingCapture::default()
+        }
+    }
+
     /// Appends one message to the log.
     pub fn record(&mut self, time: SimTime, device: DeviceId, message: L3Message) {
+        self.counted += 1;
+        if self.compact {
+            return;
+        }
         self.entries.push(CapturedMessage {
             time,
             device,
@@ -121,7 +140,7 @@ impl SignalingCapture {
     /// Total number of captured layer-3 messages — the paper's y-axis in
     /// Fig. 15.
     pub fn total(&self) -> u64 {
-        self.entries.len() as u64
+        self.counted
     }
 
     /// Messages attributed to one device.
@@ -145,6 +164,7 @@ impl SignalingCapture {
     /// Merges another capture into this one, keeping time order stable by
     /// re-sorting on (time, insertion order is preserved for ties).
     pub fn merge(&mut self, other: &SignalingCapture) {
+        self.counted += other.counted;
         self.entries.extend_from_slice(&other.entries);
         self.entries.sort_by_key(|e| e.time);
     }

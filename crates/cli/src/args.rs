@@ -13,10 +13,15 @@ USAGE:
 
     hbr crowd [--phones N] [--relays N] [--hours H] [--area METRES]
               [--seed S] [--push-mins M] [--mode d2d|original|both]
-              [--faults SPEC] [--trace N]
+              [--shards S] [--faults SPEC] [--trace N]
               [--metrics-out FILE] [--events-out FILE]
         Run a crowd scenario and print the operator console.
         --devices is accepted as an alias for --phones.
+
+        --shards splits the fleet into per-cell engines that run on S
+        worker threads with deterministic epoch barriers; the output is
+        byte-identical at any shard count (default: auto — one worker
+        per core, capped by the cell count).
 
         --metrics-out writes the merged telemetry snapshot to FILE as
         JSON and, next to it, as Prometheus text (extension .prom);
@@ -81,6 +86,8 @@ pub enum Command {
         faults: FaultPlan,
         /// Trace ring-buffer capacity (0 disables tracing).
         trace: usize,
+        /// Worker threads for the sharded engine (None = auto).
+        shards: Option<usize>,
         /// Write the merged metrics snapshot here (JSON + `.prom`).
         metrics_out: Option<String>,
         /// Write the typed event stream here (JSONL).
@@ -166,16 +173,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut mode = CrowdMode::Both;
             let mut faults = FaultPlan::new();
             let mut trace = 0usize;
+            let mut shards = None;
             let mut metrics_out = None;
             let mut events_out = None;
             parse_flags(rest, |flag, value| match flag {
                 "--phones" | "--devices" => set(value, &mut phones),
                 "--relays" => set(value, &mut relays),
-                "--hours" => set(value, &mut hours),
+                "--hours" => set_duration(flag, value, &mut hours, MAX_HOURS),
                 "--area" => set(value, &mut area),
                 "--seed" => set(value, &mut seed),
-                "--push-mins" => set(value, &mut push_mins),
+                "--push-mins" => set_duration(flag, value, &mut push_mins, MAX_PUSH_MINS),
                 "--trace" => set(value, &mut trace),
+                "--shards" => {
+                    let mut s = 0usize;
+                    set(value, &mut s)?;
+                    shards = Some(s);
+                    Ok(())
+                }
                 "--metrics-out" => {
                     metrics_out = Some(value.to_string());
                     Ok(())
@@ -205,6 +219,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             if relays > phones {
                 return Err("--relays cannot exceed --phones".into());
             }
+            if shards == Some(0) {
+                return Err("--shards must be positive (omit it for auto)".into());
+            }
             Ok(Command::Crowd {
                 phones,
                 relays,
@@ -215,6 +232,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 mode,
                 faults,
                 trace,
+                shards,
                 metrics_out,
                 events_out,
             })
@@ -230,11 +248,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             parse_flags(&rest[1..], |flag, value| match flag {
                 "--around" => {
                     let mut at = 0u64;
-                    set(value, &mut at)?;
+                    set_duration(flag, value, &mut at, MAX_TIMELINE_SECS)?;
                     around = Some(at);
                     Ok(())
                 }
-                "--window" => set(value, &mut window),
+                "--window" => set_duration(flag, value, &mut window, MAX_TIMELINE_SECS),
                 "--device" => {
                     let mut d = 0u32;
                     set(value, &mut d)?;
@@ -262,7 +280,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     app = value.to_string();
                     Ok(())
                 }
-                "--hours" => set(value, &mut hours),
+                "--hours" => set_duration(flag, value, &mut hours, MAX_HOURS),
                 "--seed" => set(value, &mut seed),
                 _ => Err(format!("unknown flag {flag} for strategies")),
             })?;
@@ -360,6 +378,35 @@ fn set<T: std::str::FromStr>(value: &str, slot: &mut T) -> Result<(), String> {
     *slot = value
         .parse()
         .map_err(|_| format!("cannot parse value {value}"))?;
+    Ok(())
+}
+
+/// Largest value a seconds-denominated timeline flag may take: anything
+/// bigger cannot be represented on the simulator's microsecond grid.
+pub(crate) const MAX_TIMELINE_SECS: u64 = u64::MAX / 1_000_000;
+
+/// Largest `--hours` value whose microsecond total still fits in `u64`.
+pub(crate) const MAX_HOURS: u64 = u64::MAX / (3600 * 1_000_000);
+
+/// Largest `--push-mins` value whose microsecond total still fits in `u64`.
+pub(crate) const MAX_PUSH_MINS: u64 = u64::MAX / (60 * 1_000_000);
+
+/// Parses a duration-valued flag (hours, minutes or seconds). A bare
+/// `set` would report negatives as an opaque parse failure and let
+/// huge values overflow the microsecond grid downstream — which once
+/// meant a silently zero-length run; reject both here with the flag
+/// named in the error.
+fn set_duration(flag: &str, value: &str, slot: &mut u64, max: u64) -> Result<(), String> {
+    if value.trim().starts_with('-') {
+        return Err(format!("{flag} cannot be negative, got {value}"));
+    }
+    let parsed: u64 = value
+        .parse()
+        .map_err(|_| format!("{flag} needs a whole non-negative number, got {value}"))?;
+    if parsed > max {
+        return Err(format!("{flag} is too large (max {max}), got {value}"));
+    }
+    *slot = parsed;
     Ok(())
 }
 
@@ -558,6 +605,67 @@ mod tests {
         assert!(parse(&argv("timeline --around 5")).is_err(), "flag as file");
         assert!(parse(&argv("timeline e.jsonl --window 0")).is_err());
         assert!(parse(&argv("timeline e.jsonl --frobnicate 1")).is_err());
+    }
+
+    #[test]
+    fn duration_flags_reject_negatives_by_name() {
+        // A negative duration used to fail as an opaque "cannot parse
+        // value"; worse, before validation existed it could wrap into a
+        // zero-length run. The error must now name the flag.
+        for bad in [
+            "crowd --hours -3",
+            "crowd --push-mins -1",
+            "strategies --hours -24",
+            "timeline e.jsonl --around -5",
+            "timeline e.jsonl --window -60",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            let flag = bad
+                .split_whitespace()
+                .find(|w| w.starts_with("--"))
+                .unwrap();
+            assert!(
+                err.contains(flag) && err.contains("negative"),
+                "{bad}: unhelpful error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duration_flags_reject_values_off_the_microsecond_grid() {
+        // u64::MAX hours cannot be represented in microseconds; letting
+        // it through would overflow (or silently truncate) downstream.
+        let max = u64::MAX;
+        for bad in [
+            format!("crowd --hours {max}"),
+            format!("crowd --push-mins {max}"),
+            format!("strategies --hours {max}"),
+            format!("timeline e.jsonl --around {max}"),
+            format!("timeline e.jsonl --window {max}"),
+        ] {
+            let err = parse(&argv(&bad)).unwrap_err();
+            assert!(err.contains("too large"), "{bad}: unexpected error {err:?}");
+        }
+        // The documented maxima themselves are accepted.
+        assert!(parse(&argv(&format!("crowd --hours {MAX_HOURS}"))).is_ok());
+        assert!(parse(&argv(&format!(
+            "timeline e.jsonl --around {MAX_TIMELINE_SECS}"
+        )))
+        .is_ok());
+    }
+
+    #[test]
+    fn crowd_shards_flag_parses_and_rejects_zero() {
+        match parse(&argv("crowd --shards 4")).unwrap() {
+            Command::Crowd { shards, .. } => assert_eq!(shards, Some(4)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("crowd")).unwrap() {
+            Command::Crowd { shards, .. } => assert_eq!(shards, None, "default is auto"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("crowd --shards 0")).unwrap_err();
+        assert!(err.contains("--shards"), "unhelpful error {err:?}");
     }
 
     #[test]

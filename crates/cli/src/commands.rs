@@ -5,10 +5,8 @@ use hbr_baseline::{
     D2dForwarding, ExtendedPeriod, FastDormancy, Original, Piggyback, Strategy, Workload,
 };
 use hbr_core::experiment::{ControlledExperiment, ExperimentConfig};
-use hbr_core::fleet::FleetBuilder;
-use hbr_core::world::{Mode, Scenario, ScenarioConfig, ScenarioReport};
+use hbr_core::world::{Mode, ScenarioReport};
 use hbr_sim::fault::FaultPlan;
-use hbr_sim::SimDuration;
 
 use crate::args::{Command, CrowdMode, USAGE};
 
@@ -31,6 +29,7 @@ pub fn run(command: Command) {
             mode,
             faults,
             trace,
+            shards,
             metrics_out,
             events_out,
         } => crowd(
@@ -43,6 +42,7 @@ pub fn run(command: Command) {
             mode,
             faults,
             trace,
+            shards,
             metrics_out,
             events_out,
         ),
@@ -97,36 +97,6 @@ fn quickstart(ues: usize, transmissions: u32, distance: f64) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_crowd(
-    phones: usize,
-    relays: usize,
-    hours: u64,
-    area: f64,
-    seed: u64,
-    push_mins: u64,
-    mode: Mode,
-    faults: &FaultPlan,
-    trace: usize,
-    telemetry: bool,
-) -> ScenarioReport {
-    let mut config = ScenarioConfig::new(SimDuration::from_secs(hours * 3600), seed);
-    config.mode = mode;
-    config.faults = faults.clone();
-    config.trace_capacity = trace;
-    config.telemetry = telemetry;
-    if push_mins > 0 {
-        config.push_interval = Some(SimDuration::from_secs(push_mins * 60));
-    }
-    for spec in FleetBuilder::new(phones, relays)
-        .area_side_m(area)
-        .build(seed)
-    {
-        config.add_device(spec);
-    }
-    Scenario::new(config).run()
-}
-
-#[allow(clippy::too_many_arguments)]
 fn crowd(
     phones: usize,
     relays: usize,
@@ -137,10 +107,16 @@ fn crowd(
     mode: CrowdMode,
     faults: FaultPlan,
     trace: usize,
+    shards: Option<usize>,
     metrics_out: Option<String>,
     events_out: Option<String>,
 ) {
     println!("crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n");
+    let grid = hbr_bench::cell_grid(area);
+    match shards {
+        Some(s) => println!("engine: {grid}×{grid} cell grid, {s} shard(s)\n"),
+        None => println!("engine: {grid}×{grid} cell grid, auto shards\n"),
+    }
     if !faults.is_empty() {
         println!("fault plan: {} scheduled event(s)\n", faults.events().len());
     }
@@ -153,14 +129,28 @@ fn crowd(
             ("d2d-framework", Mode::D2dFramework),
         ],
     };
-    // `both` runs two full scenarios; they are independent, so let the
-    // sweep harness put each on its own core. Reports come back in run
-    // order, keeping the printout identical to the sequential loop.
-    let reports: Vec<ScenarioReport> = hbr_bench::run_sweep(seed, runs.clone(), |&(_, m), _| {
-        build_crowd(
-            phones, relays, hours, area, seed, push_mins, m, &faults, trace, telemetry,
-        )
-    });
+    // Each mode goes through the sharded engine, which already spreads
+    // its cells over worker threads — run the modes sequentially so the
+    // two thread pools never compete. The merged reports are
+    // byte-identical at any shard count.
+    let reports: Vec<ScenarioReport> = runs
+        .iter()
+        .map(|&(_, m)| {
+            hbr_bench::run_crowd(&hbr_bench::CrowdConfig {
+                phones,
+                relays,
+                hours,
+                area_side_m: area,
+                seed,
+                push_mins,
+                mode: m,
+                faults: faults.clone(),
+                trace_capacity: trace,
+                telemetry,
+                shards,
+            })
+        })
+        .collect();
     for ((name, _), report) in runs.iter().zip(&reports) {
         println!("── {name} ──");
         print!("{}", report.render());
@@ -291,6 +281,7 @@ mod tests {
             mode: CrowdMode::Both,
             faults: FaultPlan::new(),
             trace: 0,
+            shards: None,
             metrics_out: None,
             events_out: None,
         });
@@ -309,6 +300,7 @@ mod tests {
             mode: CrowdMode::D2d,
             faults,
             trace: 200,
+            shards: None,
             metrics_out: None,
             events_out: None,
         });
@@ -331,6 +323,7 @@ mod tests {
             mode: CrowdMode::Both,
             faults,
             trace: 0,
+            shards: None,
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             events_out: Some(events.to_string_lossy().into_owned()),
         });

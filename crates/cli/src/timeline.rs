@@ -131,7 +131,7 @@ pub fn render(text: &str, query: TimelineQuery) -> Result<String, String> {
         out.push_str(&format!(
             "window: {}..{} s (around {centre}, ±{} s)",
             centre.saturating_sub(query.window_secs),
-            centre + query.window_secs,
+            centre.saturating_add(query.window_secs),
             query.window_secs
         ));
     } else {
@@ -158,8 +158,12 @@ pub fn render(text: &str, query: TimelineQuery) -> Result<String, String> {
 fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
     let (lo_us, hi_us) = match query.around_secs {
         Some(centre) => (
-            centre.saturating_sub(query.window_secs) * 1_000_000,
-            (centre + query.window_secs).saturating_mul(1_000_000),
+            centre
+                .saturating_sub(query.window_secs)
+                .saturating_mul(1_000_000),
+            centre
+                .saturating_add(query.window_secs)
+                .saturating_mul(1_000_000),
         ),
         None => (0, u64::MAX),
     };
@@ -191,6 +195,7 @@ fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
                 "fallback" => "fallback",
                 "fault" => "fault",
                 "energy" => "energy",
+                "pulse" => "pulse",
                 _ => "other",
             })
             .or_insert(0) += 1;
@@ -270,6 +275,15 @@ fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
                 entry.num("device"),
                 entry.float("uah"),
                 entry.str("group"),
+            ),
+            "pulse" => format!(
+                "fleet pulse (epoch {}, {} cell(s)): {} forwards, {} fallbacks, {} outage-queued, {} L3 msgs",
+                entry.num("epoch"),
+                entry.num("cells"),
+                entry.num("forwards"),
+                entry.num("fallbacks"),
+                entry.num("outage_queued"),
+                entry.num("l3"),
             ),
             other => format!("unrecognized event kind {other:?}"),
         };
@@ -387,6 +401,44 @@ mod tests {
         let a = render(SAMPLE, q(None, None)).unwrap();
         let b = render(SAMPLE, q(None, None)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_window_bounds_saturate_instead_of_overflowing() {
+        // `centre + window` used to overflow u64 in debug builds when
+        // --around sat near the top of the range; both bounds (and the
+        // microsecond conversion) must saturate. cargo test runs these
+        // in debug, so an unfixed overflow panics right here.
+        let query = TimelineQuery {
+            around_secs: Some(u64::MAX),
+            window_secs: u64::MAX,
+            device: None,
+        };
+        let out = render(SAMPLE, query).unwrap();
+        assert!(out.contains("window: 0.."), "lower bound saturates to 0");
+        // A saturated window covers everything, so all six events show.
+        assert!(out.contains("6 event(s)"));
+
+        // A huge centre with a small window is simply empty, not a panic.
+        let far = TimelineQuery {
+            around_secs: Some(u64::MAX / 1_000_000),
+            window_secs: 120,
+            device: None,
+        };
+        let out = render(SAMPLE, far).unwrap();
+        assert!(out.contains("(no events in this window)"));
+    }
+
+    #[test]
+    fn pulse_events_render_fleet_counters() {
+        let sample = "{\"t_us\":3600000000,\"event\":\"pulse\",\"epoch\":4,\"cells\":9,\
+                      \"forwards\":120,\"fallbacks\":3,\"outage_queued\":0,\"l3\":88}\n";
+        let out = render(sample, q(None, None)).unwrap();
+        assert!(
+            out.contains("fleet pulse (epoch 4, 9 cell(s)): 120 forwards, 3 fallbacks, 0 outage-queued, 88 L3 msgs"),
+            "missing pulse line in:\n{out}"
+        );
+        assert!(out.contains("pulse ×1"));
     }
 
     #[test]

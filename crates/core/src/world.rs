@@ -194,6 +194,35 @@ pub struct DeviceReport {
     pub battery_depleted: bool,
 }
 
+/// Aggregate counters a cell reports at an epoch barrier — the
+/// cross-shard "message" of the sharded crowd engine. Folding the
+/// pulses of every cell (in cell order) gives the fleet-level digest,
+/// independent of how cells are spread over worker threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochPulse {
+    /// D2D forwards performed so far.
+    pub forwards: u64,
+    /// Cellular fallbacks performed so far.
+    pub fallbacks: u64,
+    /// Heartbeats currently queued behind a cellular outage.
+    pub outage_queued: u64,
+    /// Layer-3 messages at this cell's base station so far.
+    pub l3: u64,
+    /// RRC connections at this cell's base station so far.
+    pub rrc: u64,
+}
+
+impl EpochPulse {
+    /// Accumulates another cell's pulse into this one.
+    pub fn absorb(&mut self, other: &EpochPulse) {
+        self.forwards += other.forwards;
+        self.fallbacks += other.fallbacks;
+        self.outage_queued += other.outage_queued;
+        self.l3 += other.l3;
+        self.rrc += other.rrc;
+    }
+}
+
 /// Aggregate scenario results.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -474,7 +503,11 @@ impl Scenario {
                 schedules,
                 monitor,
                 radio: CellularRadio::new(config.stack.cellular.clone()),
-                meter: EnergyMeter::new(),
+                // Aggregate-only: the report consumes totals and
+                // group breakdowns, never raw segments, so the meter
+                // can stay O(1) per device instead of growing with
+                // every radio burst — what lets a 1M-phone cell fit.
+                meter: EnergyMeter::compact(),
                 battery: spec.battery_mah.map(Battery::with_capacity_mah),
                 rng: rng.fork(i as u64),
                 scheduler,
@@ -531,7 +564,9 @@ impl Scenario {
             field,
             detector,
             servers,
-            bs: BaseStation::new(1e9),
+            // Counters only — the report reads total_l3/rrc, never the
+            // per-message capture log (exp_fig14 builds its own).
+            bs: BaseStation::compact(1e9),
             ledger: RewardLedger::new(reward),
             ids: MessageIdGen::new(),
             rng,
@@ -580,13 +615,45 @@ impl Scenario {
     /// Runs to the configured horizon and reports.
     pub fn run(mut self) -> ScenarioReport {
         let end = SimTime::ZERO + self.config.duration;
-        while let Some(fired) = self.sim.pop_until(end) {
+        self.run_until(end);
+        self.finish(end)
+    }
+
+    /// Advances the event loop to `until` (inclusive), leaving the
+    /// scenario resumable. Driving a scenario through a sequence of
+    /// `run_until` calls with increasing limits fires exactly the same
+    /// events as one call at the final limit — the sharded crowd engine
+    /// relies on this to step its cells in epoch lockstep.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(fired) = self.sim.pop_until(until) {
             self.handle(fired.time, fired.event);
             if self.checker.enabled() {
                 self.check_invariants(fired.time);
             }
         }
+    }
+
+    /// Closes out a scenario previously stepped via
+    /// [`Scenario::run_until`] and reports. Equivalent to the tail of
+    /// [`Scenario::run`]; the caller must have advanced the clock to the
+    /// configured horizon first.
+    pub fn complete(self) -> ScenarioReport {
+        let end = SimTime::ZERO + self.config.duration;
         self.finish(end)
+    }
+
+    /// A cheap aggregate probe of the scenario mid-run — what the
+    /// sharded engine's cells exchange at epoch barriers to build the
+    /// fleet-level pulse. Pure observation: no RNG draws, no state
+    /// changes.
+    pub fn pulse(&self) -> EpochPulse {
+        EpochPulse {
+            forwards: self.devices.iter().map(|d| d.forwards).sum(),
+            fallbacks: self.devices.iter().map(|d| d.fallbacks).sum(),
+            outage_queued: self.outage_queue.len() as u64,
+            l3: self.bs.total_l3(),
+            rrc: self.bs.rrc_connections(),
+        }
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
@@ -595,14 +662,36 @@ impl Scenario {
             Event::HeartbeatDue { device, app_idx } => self.on_heartbeat_due(now, device, app_idx),
             Event::FlushDeadline { device, generation } => {
                 if self.devices[device].deadline_generation == generation {
-                    // Ask the scheduler why the deadline fired; a stale
-                    // earliest-expiry race defaults to the period clause.
-                    let reason = self.devices[device]
+                    // A deadline can outlive the condition that armed it:
+                    // a capacity flush empties the buffer without bumping
+                    // the generation, so the old event still fires. Forcing
+                    // a flush here would fabricate a period-elapsed reason
+                    // and record a phantom zero-size batch in the stats —
+                    // skip the stale deadline and re-arm from the
+                    // scheduler's real next deadline instead.
+                    let due = self.devices[device]
                         .scheduler
                         .as_ref()
-                        .and_then(|s| s.flush_due(now))
-                        .unwrap_or(FlushReason::PeriodElapsed);
-                    self.flush_relay(now, device, reason);
+                        .and_then(|s| s.flush_due(now));
+                    match due {
+                        Some(reason) => self.flush_relay(now, device, reason),
+                        None => {
+                            let next = self.devices[device]
+                                .scheduler
+                                .as_ref()
+                                .filter(|s| s.is_collecting())
+                                .map(|s| s.next_deadline());
+                            if let Some(next) = next {
+                                let dev = &mut self.devices[device];
+                                dev.deadline_generation += 1;
+                                let generation = dev.deadline_generation;
+                                self.sim.schedule_at(
+                                    next.max(now),
+                                    Event::FlushDeadline { device, generation },
+                                );
+                            }
+                        }
+                    }
                 }
             }
             Event::FeedbackSweep { device } => self.on_feedback_sweep(now, device),
@@ -1820,6 +1909,32 @@ mod tests {
         assert_eq!(ue.forwards, 0, "no D2D forwards at 60 m");
         assert!(ue.rrc_connections > 0, "heartbeats flow over cellular");
         assert_eq!(report.offline_secs, 0.0);
+    }
+
+    #[test]
+    fn stale_flush_deadline_is_skipped_not_fabricated() {
+        // A capacity flush empties the buffer without bumping the
+        // deadline generation, so the previously armed FlushDeadline
+        // still fires — with nothing due. It must be skipped: forcing a
+        // flush there records a phantom zero-size batch that drags the
+        // relay's mean batch size below what it really sent. With a
+        // capacity of 2 and two chatty UEs in range, every real flush
+        // carries a full batch, so any phantom shows up in the mean.
+        let mut config = ScenarioConfig::new(SimDuration::from_secs(3 * 3600), 42);
+        config.mode = Mode::D2dFramework;
+        config.framework.relay_capacity = 2;
+        config.add_device(spec(Role::Relay, 0.0));
+        config.add_device(spec(Role::Ue, 1.0));
+        config.add_device(spec(Role::Ue, 2.0));
+        let report = Scenario::new(config).run();
+        let relay = &report.devices[0];
+        let mean = relay
+            .mean_batch_size
+            .expect("the relay must flush something");
+        assert!(
+            mean > 1.5,
+            "phantom zero-size batches dragged the mean batch size to {mean}"
+        );
     }
 
     #[test]

@@ -36,12 +36,30 @@ pub struct EnergyMeter {
     segments: Vec<(SimTime, Segment)>,
     by_phase: BTreeMap<Phase, MicroAmpHours>,
     total: MicroAmpHours,
+    compact: bool,
 }
 
 impl EnergyMeter {
     /// Creates an empty meter.
     pub fn new() -> Self {
         EnergyMeter::default()
+    }
+
+    /// Creates a meter that keeps only the running totals, dropping the
+    /// raw segment log.
+    ///
+    /// Aggregate queries — [`EnergyMeter::total`], [`EnergyMeter::phase_total`],
+    /// [`EnergyMeter::group_breakdown`] — return exactly what a full
+    /// meter would (same values, same accumulation order), but windowed
+    /// queries ([`EnergyMeter::current_at`], [`EnergyMeter::charge_between`])
+    /// see no segments. The crowd engine uses this so a million-device
+    /// fleet's meters stay O(1) each instead of growing with every
+    /// radio burst.
+    pub fn compact() -> Self {
+        EnergyMeter {
+            compact: true,
+            ..EnergyMeter::default()
+        }
     }
 
     /// Records one absolute-time segment.
@@ -56,7 +74,9 @@ impl EnergyMeter {
             .entry(segment.phase)
             .or_insert(MicroAmpHours::ZERO) += charge;
         self.total += charge;
-        self.segments.push((start + segment.offset, segment));
+        if !self.compact {
+            self.segments.push((start + segment.offset, segment));
+        }
     }
 
     /// Anchors a whole profile at `start` and records every segment.

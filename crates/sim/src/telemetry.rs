@@ -472,6 +472,23 @@ pub enum TelemetryEvent {
         /// Charge drawn in that group, µAh.
         uah: f64,
     },
+    /// The fleet-level digest the sharded crowd engine folds from every
+    /// cell's epoch pulse at a barrier (one event per epoch; fleet
+    /// scope, so no device).
+    FleetPulse {
+        /// Epoch index, 0-based.
+        epoch: u32,
+        /// Cells that contributed to the fold.
+        cells: u32,
+        /// Cumulative D2D forwards across the fleet.
+        forwards: u64,
+        /// Cumulative cellular fallbacks across the fleet.
+        fallbacks: u64,
+        /// Heartbeats queued behind cellular outages at the barrier.
+        outage_queued: u64,
+        /// Cumulative layer-3 messages across every cell.
+        l3: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -485,6 +502,7 @@ impl TelemetryEvent {
             TelemetryEvent::Fallback { .. } => "fallback",
             TelemetryEvent::FaultInjected { .. } => "fault",
             TelemetryEvent::EnergyPhase { .. } => "energy",
+            TelemetryEvent::FleetPulse { .. } => "pulse",
         }
     }
 
@@ -498,6 +516,30 @@ impl TelemetryEvent {
             | TelemetryEvent::Fallback { device, .. }
             | TelemetryEvent::EnergyPhase { device, .. } => Some(*device),
             TelemetryEvent::FaultInjected { device, .. } => *device,
+            TelemetryEvent::FleetPulse { .. } => None,
+        }
+    }
+
+    /// Rewrites every device index the event carries through `map` —
+    /// how the sharded crowd engine translates a cell's local indices
+    /// back to fleet-global ones when merging per-cell event streams.
+    pub fn remap_devices(&mut self, map: impl Fn(u32) -> u32) {
+        match self {
+            TelemetryEvent::Flush { device, .. }
+            | TelemetryEvent::RrcTransition { device, .. }
+            | TelemetryEvent::Fallback { device, .. }
+            | TelemetryEvent::EnergyPhase { device, .. } => *device = map(*device),
+            TelemetryEvent::RelayMatch { device, relay }
+            | TelemetryEvent::RelayDepart { device, relay } => {
+                *device = map(*device);
+                *relay = map(*relay);
+            }
+            TelemetryEvent::FaultInjected { device, .. } => {
+                if let Some(d) = device.as_mut() {
+                    *d = map(*d);
+                }
+            }
+            TelemetryEvent::FleetPulse { .. } => {}
         }
     }
 }
@@ -572,6 +614,19 @@ impl EventRecord {
                     ",\"device\":{device},\"group\":{},\"uah\":{}",
                     json_string(group),
                     json_f64(*uah)
+                );
+            }
+            TelemetryEvent::FleetPulse {
+                epoch,
+                cells,
+                forwards,
+                fallbacks,
+                outage_queued,
+                l3,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"cells\":{cells},\"forwards\":{forwards},\"fallbacks\":{fallbacks},\"outage_queued\":{outage_queued},\"l3\":{l3}"
                 );
             }
         }

@@ -436,6 +436,45 @@ mod tests {
         let _ = SimTime::from_secs(1) - SimDuration::from_secs(2);
     }
 
+    // Bad fractional inputs must be loud. An `as u64` cast would map a
+    // negative or NaN input to a silent zero (and +inf to u64::MAX),
+    // turning a mistyped duration into a zero-length run.
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn infinite_duration_panics() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_scale_factor_panics() {
+        let _ = SimDuration::from_secs(10).mul_f64(-2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn nan_scale_factor_panics() {
+        let _ = SimDuration::from_secs(10).mul_f64(f64::NAN);
+    }
+
     #[test]
     fn sum_and_scaling() {
         let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();

@@ -1,7 +1,39 @@
 //! Property-based tests for the event engine and clock types.
 
-use hbr_sim::{SimDuration, SimTime, Simulation};
+use hbr_sim::{SimDuration, SimTime, Simulation, Summary};
 use proptest::prelude::*;
+
+/// Bounded, NaN-free samples for `Summary` properties.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, 0..60)
+}
+
+fn summarise(xs: &[f64]) -> Summary {
+    xs.iter().copied().collect()
+}
+
+/// Exact equality on the discrete stats, tolerance on the floating-point
+/// moments — `merge` documents "up to floating-point rounding".
+fn assert_close(a: &Summary, b: &Summary) {
+    prop_assert_eq!(a.count(), b.count());
+    prop_assert_eq!(a.min(), b.min(), "min is exact (no arithmetic)");
+    prop_assert_eq!(a.max(), b.max(), "max is exact (no arithmetic)");
+    let close = |x: Option<f64>, y: Option<f64>| match (x, y) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => false,
+    };
+    prop_assert!(close(a.mean(), b.mean()), "means differ: {a} vs {b}");
+    prop_assert!(
+        close(a.variance(), b.variance()),
+        "variances differ: {:?} vs {:?}",
+        a.variance(),
+        b.variance()
+    );
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, whatever the
@@ -113,5 +145,41 @@ proptest! {
         let da = SimDuration::from_micros(a);
         let db = SimDuration::from_micros(a + extra);
         prop_assert_eq!(t - da + db, t + (db - da));
+    }
+
+    /// merge(a, b) ≍ merge(b, a): shard telemetry may be folded in any
+    /// order without moving the merged statistics.
+    #[test]
+    fn summary_merge_commutes(xs in samples(), ys in samples()) {
+        let mut ab = summarise(&xs);
+        ab.merge(&summarise(&ys));
+        let mut ba = summarise(&ys);
+        ba.merge(&summarise(&xs));
+        assert_close(&ab, &ba);
+    }
+
+    /// (a ∪ b) ∪ c ≍ a ∪ (b ∪ c): folding shards pairwise in any shape
+    /// gives the same statistics, so tree merges equal sequential ones.
+    #[test]
+    fn summary_merge_is_associative(xs in samples(), ys in samples(), zs in samples()) {
+        let mut left = summarise(&xs);
+        left.merge(&summarise(&ys));
+        left.merge(&summarise(&zs));
+        let mut bc = summarise(&ys);
+        bc.merge(&summarise(&zs));
+        let mut right = summarise(&xs);
+        right.merge(&bc);
+        assert_close(&left, &right);
+    }
+
+    /// Merging per-shard summaries matches recording the concatenated
+    /// stream into a single summary — the contract the sharded crowd
+    /// engine's report merge relies on.
+    #[test]
+    fn summary_merge_matches_sequential_recording(xs in samples(), ys in samples()) {
+        let mut merged = summarise(&xs);
+        merged.merge(&summarise(&ys));
+        let whole: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        assert_close(&merged, &summarise(&whole));
     }
 }

@@ -1,0 +1,115 @@
+//! Property tests for the sharded crowd engine: however many worker
+//! threads carry the cells, the merged fleet report is byte-identical
+//! to the single-shard run — rendered console, metrics JSON and event
+//! stream alike.
+
+use d2d_heartbeat::bench::{run_crowd, CrowdConfig};
+use d2d_heartbeat::core::world::Mode;
+use d2d_heartbeat::sim::fault::{FaultKind, FaultPlan};
+use d2d_heartbeat::sim::{DeviceId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Everything that should determine the output — pointedly *excluding*
+/// the shard count.
+#[derive(Debug, Clone)]
+struct Fleet {
+    seed: u64,
+    phones: usize,
+    relays: usize,
+    area: f64,
+    mode: Mode,
+    faulted: bool,
+}
+
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    (
+        any::<u64>(),
+        12usize..40,
+        1usize..6,
+        // 150–320 m sides span a 2×2 to 4×4 cell grid, so the partition
+        // is non-trivial and multiple shards have real work.
+        150.0f64..320.0,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(seed, phones, relays, area, d2d, faulted)| Fleet {
+            seed,
+            phones,
+            relays,
+            area,
+            mode: if d2d {
+                Mode::D2dFramework
+            } else {
+                Mode::OriginalCellular
+            },
+            faulted,
+        })
+}
+
+fn faults_for(fleet: &Fleet) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    if fleet.faulted {
+        // One global fault (broadcast to every cell) and one targeted at
+        // a device that always exists (routed to its owning cell).
+        plan.schedule(
+            SimTime::from_secs(600),
+            FaultKind::CellularOutage {
+                duration: SimDuration::from_secs(120),
+            },
+        );
+        plan.schedule(
+            SimTime::from_secs(900),
+            FaultKind::LinkDrop {
+                device: DeviceId::new((fleet.seed % fleet.phones as u64) as u32),
+                d2d_down_for: SimDuration::from_secs(300),
+            },
+        );
+    }
+    plan
+}
+
+/// Runs one fleet at a given shard count and returns every observable
+/// artifact as bytes.
+fn artifacts(fleet: &Fleet, shards: usize) -> (String, String, String) {
+    let report = run_crowd(&CrowdConfig {
+        phones: fleet.phones,
+        relays: fleet.relays,
+        hours: 1,
+        area_side_m: fleet.area,
+        seed: fleet.seed,
+        push_mins: 0,
+        mode: fleet.mode,
+        faults: faults_for(fleet),
+        trace_capacity: 0,
+        telemetry: true,
+        shards: Some(shards),
+    });
+    let events: String = report.events.iter().map(|r| r.to_jsonl() + "\n").collect();
+    (report.render(), report.metrics.to_json(), events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole contract: an S-shard run is byte-identical to the
+    /// unsharded run for every artifact a user can observe.
+    #[test]
+    fn sharded_run_is_byte_identical_to_unsharded(fleet in arb_fleet()) {
+        let baseline = artifacts(&fleet, 1);
+        for shards in [2usize, 3] {
+            let sharded = artifacts(&fleet, shards);
+            prop_assert_eq!(&baseline.0, &sharded.0, "render differs at {} shards", shards);
+            prop_assert_eq!(&baseline.1, &sharded.1, "metrics differ at {} shards", shards);
+            prop_assert_eq!(&baseline.2, &sharded.2, "events differ at {} shards", shards);
+        }
+    }
+
+    /// Oversubscription is harmless: more shards than populated cells
+    /// clamps down rather than deadlocking or changing the output.
+    #[test]
+    fn shard_count_beyond_cells_clamps(fleet in arb_fleet()) {
+        let baseline = artifacts(&fleet, 1);
+        let oversubscribed = artifacts(&fleet, 64);
+        prop_assert_eq!(baseline, oversubscribed);
+    }
+}
