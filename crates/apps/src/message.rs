@@ -89,6 +89,20 @@ impl Heartbeat {
     pub fn slack(&self, now: SimTime) -> hbr_sim::SimDuration {
         self.expires_at.saturating_since(now)
     }
+
+    /// The latest delivery instant that cannot open a *session* liveness
+    /// gap. The server's expiration window spans the full budget
+    /// (`expires_at - created_at`, three periods), but it is anchored to
+    /// the previous accepted refresh: when that one arrived with zero
+    /// delay, a message delivered later than two thirds of its budget
+    /// after creation stretches the refresh gap past the window even
+    /// though the message itself is still individually fresh. Recovery
+    /// paths that add delay (retries, re-delegation) must respect this
+    /// deadline rather than `expires_at`.
+    pub fn liveness_deadline(&self) -> SimTime {
+        let budget = self.expires_at.saturating_since(self.created_at);
+        self.created_at + budget / 3 * 2
+    }
 }
 
 impl fmt::Display for Heartbeat {
@@ -128,6 +142,15 @@ mod tests {
         );
         assert_eq!(h.slack(SimTime::from_secs(40)), SimDuration::from_secs(60));
         assert_eq!(h.slack(SimTime::from_secs(200)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn liveness_deadline_is_two_thirds_of_the_budget() {
+        // A 720 s budget (the 3× period of a 240 s app): delivery past
+        // created + 480 s can stretch the server's refresh gap beyond
+        // its expiration window even though the message stays fresh.
+        let h = hb(100, 820);
+        assert_eq!(h.liveness_deadline(), SimTime::from_secs(580));
     }
 
     #[test]

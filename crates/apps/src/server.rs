@@ -40,6 +40,10 @@ pub struct ImServer {
     rejected_expired: u64,
     duplicates: u64,
     seen: std::collections::HashSet<crate::message::MessageId>,
+    /// (source, app, seq) triples already accepted — catches retransmit
+    /// duplicates that arrive under a *fresh* message id (a retried
+    /// heartbeat re-sent over another path keeps its sequence number).
+    seen_seq: std::collections::HashSet<(DeviceId, AppId, u32)>,
 }
 
 impl ImServer {
@@ -58,6 +62,7 @@ impl ImServer {
             rejected_expired: 0,
             duplicates: 0,
             seen: Default::default(),
+            seen_seq: Default::default(),
         }
     }
 
@@ -76,6 +81,10 @@ impl ImServer {
     /// rejected and counted, duplicates are ignored.
     pub fn deliver(&mut self, hb: &Heartbeat, at: SimTime) -> bool {
         if !self.seen.insert(hb.id) {
+            self.duplicates += 1;
+            return false;
+        }
+        if !self.seen_seq.insert((hb.source, hb.app, hb.seq)) {
             self.duplicates += 1;
             return false;
         }
@@ -102,6 +111,15 @@ impl ImServer {
             .rev()
             .find(|&&r| r <= at)
             .is_some_and(|&last| at - last < self.expiration)
+    }
+
+    /// The accepted-refresh instants recorded for one session, in
+    /// arrival order. Diagnostic surface for liveness audits.
+    pub fn refresh_history(&self, device: DeviceId, app: AppId) -> &[SimTime] {
+        self.history
+            .get(&(device, app))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total accepted heartbeats.
@@ -168,7 +186,9 @@ mod tests {
             id: ids.next_id(),
             app: AppId::new(0),
             source: DeviceId::new(0),
-            seq: 0,
+            // Real generators give every heartbeat of a session a fresh
+            // sequence number; mirror that so seq-dedup stays quiet.
+            seq: created as u32,
             size: 74,
             created_at: SimTime::from_secs(created),
             expires_at: SimTime::from_secs(expires),
@@ -205,6 +225,23 @@ mod tests {
         let h = hb(&mut ids, 0, 1000);
         assert!(server.deliver(&h, SimTime::from_secs(1)));
         assert!(!server.deliver(&h, SimTime::from_secs(2)));
+        assert_eq!(server.duplicates(), 1);
+        assert_eq!(server.delivered(), 1);
+    }
+
+    #[test]
+    fn retransmit_under_fresh_id_is_deduped_by_seq() {
+        let mut server = ImServer::new(SimDuration::from_secs(810));
+        let mut ids = MessageIdGen::new();
+        let original = hb(&mut ids, 10, 1000);
+        assert!(server.deliver(&original, SimTime::from_secs(11)));
+        // A retried copy keeps (source, app, seq) but gets a new id —
+        // e.g. the D2D path landed late *and* the retry landed.
+        let retry = Heartbeat {
+            id: ids.next_id(),
+            ..original
+        };
+        assert!(!server.deliver(&retry, SimTime::from_secs(12)));
         assert_eq!(server.duplicates(), 1);
         assert_eq!(server.delivered(), 1);
     }

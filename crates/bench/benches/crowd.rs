@@ -54,6 +54,9 @@ fn run_sharded(phones: usize, shards: usize) -> u64 {
         faults: Default::default(),
         trace_capacity: 0,
         telemetry: false,
+        // The legacy comparison run has no reliable-delivery layer, so
+        // keep it off here too — the bench isolates engine throughput.
+        reliable: false,
         shards: Some(shards),
     })
     .total_l3

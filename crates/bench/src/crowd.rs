@@ -83,6 +83,11 @@ pub struct CrowdConfig {
     pub trace_capacity: usize,
     /// Record metrics and events.
     pub telemetry: bool,
+    /// Run the reliable-delivery layer in every cell (see
+    /// [`hbr_core::delivery`]). Crowd runs default this on — the fleet
+    /// digest is never pinned across releases, and the delivery SLO is
+    /// what chaos runs are judged on.
+    pub reliable: bool,
     /// Worker threads ([`None`] = auto: sweep threads capped by the
     /// cell count).
     pub shards: Option<usize>,
@@ -155,6 +160,7 @@ pub fn run_crowd(config: &CrowdConfig) -> ScenarioReport {
         cell_config.mode = config.mode;
         cell_config.trace_capacity = config.trace_capacity;
         cell_config.telemetry = config.telemetry;
+        cell_config.reliable_delivery = config.reliable;
         if config.push_mins > 0 {
             cell_config.push_interval = Some(SimDuration::from_secs(config.push_mins * 60));
         }
@@ -256,6 +262,10 @@ pub fn run_crowd(config: &CrowdConfig) -> ScenarioReport {
                             log.metrics
                                 .set_gauge("hbr_fleet_outage_queued", fleet.outage_queued as f64);
                             log.metrics.set_gauge("hbr_fleet_l3", fleet.l3 as f64);
+                            log.metrics
+                                .set_gauge("hbr_fleet_delivered", fleet.delivered as f64);
+                            log.metrics
+                                .set_gauge("hbr_fleet_retries", fleet.retries as f64);
                             log.metrics.incr("hbr_fleet_epochs_total");
                             log.events.push(EventRecord {
                                 time: limit,
@@ -266,6 +276,8 @@ pub fn run_crowd(config: &CrowdConfig) -> ScenarioReport {
                                     fallbacks: fleet.fallbacks,
                                     outage_queued: fleet.outage_queued,
                                     l3: fleet.l3,
+                                    delivered: fleet.delivered,
+                                    retries: fleet.retries,
                                 },
                             });
                         }
@@ -355,6 +367,7 @@ fn merge_reports(cells: Vec<Cell>, fleet_log: FleetLog, telemetry: bool) -> Scen
         trace_dropped: 0,
         metrics,
         events: Vec::new(),
+        delivery: None,
     };
 
     for (global_ids, report) in &mut reports {
@@ -368,6 +381,12 @@ fn merge_reports(cells: Vec<Cell>, fleet_log: FleetLog, telemetry: bool) -> Scen
         merged.pushes_missed += report.pushes_missed;
         merged.total_energy_uah += report.total_energy_uah;
         merged.trace_dropped += report.trace_dropped;
+        if let Some(cell_delivery) = &report.delivery {
+            merged
+                .delivery
+                .get_or_insert_with(Default::default)
+                .absorb(cell_delivery);
+        }
         merged.trace.append(&mut report.trace);
         for (row, mut device_report) in report.devices.drain(..).enumerate() {
             device_report.device = DeviceId::new(global_ids[row]);

@@ -14,7 +14,7 @@ USAGE:
     hbr crowd [--phones N] [--relays N] [--hours H] [--area METRES]
               [--seed S] [--push-mins M] [--mode d2d|original|both]
               [--shards S] [--faults SPEC] [--trace N]
-              [--metrics-out FILE] [--events-out FILE]
+              [--metrics-out FILE] [--events-out FILE] [--slo-out FILE]
         Run a crowd scenario and print the operator console.
         --devices is accepted as an alias for --phones.
 
@@ -28,6 +28,11 @@ USAGE:
         --events-out writes the typed event stream as JSONL, one
         run-labelled event per line. Either flag turns telemetry on;
         both files are byte-identical across thread counts and reruns.
+
+        --slo-out writes the delivery-SLO report of the d2d run as
+        JSON: generated/delivered/duplicate counts, retries, handovers,
+        the delivery ratio and false-dead seconds. Byte-identical
+        across thread counts, so CI can cmp-gate it.
 
         --faults injects a deterministic fault schedule; SPEC is a
         comma-separated list of events (times/durations in seconds,
@@ -92,6 +97,8 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Write the typed event stream here (JSONL).
         events_out: Option<String>,
+        /// Write the delivery-SLO report here (JSON).
+        slo_out: Option<String>,
     },
     /// Render a causal timeline from an `--events-out` JSONL file.
     Timeline {
@@ -176,6 +183,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut shards = None;
             let mut metrics_out = None;
             let mut events_out = None;
+            let mut slo_out = None;
             parse_flags(rest, |flag, value| match flag {
                 "--phones" | "--devices" => set(value, &mut phones),
                 "--relays" => set(value, &mut relays),
@@ -196,6 +204,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
                 "--events-out" => {
                     events_out = Some(value.to_string());
+                    Ok(())
+                }
+                "--slo-out" => {
+                    slo_out = Some(value.to_string());
                     Ok(())
                 }
                 "--faults" => {
@@ -235,6 +247,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 shards,
                 metrics_out,
                 events_out,
+                slo_out,
             })
         }
         "timeline" => {
@@ -577,6 +590,18 @@ mod tests {
                 events_out,
                 ..
             } => assert!(metrics_out.is_none() && events_out.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crowd_accepts_slo_out() {
+        match parse(&argv("crowd --slo-out slo.json")).unwrap() {
+            Command::Crowd { slo_out, .. } => assert_eq!(slo_out.as_deref(), Some("slo.json")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("crowd")).unwrap() {
+            Command::Crowd { slo_out, .. } => assert!(slo_out.is_none(), "default is off"),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -32,6 +32,7 @@ pub fn run(command: Command) {
             shards,
             metrics_out,
             events_out,
+            slo_out,
         } => crowd(
             phones,
             relays,
@@ -45,6 +46,7 @@ pub fn run(command: Command) {
             shards,
             metrics_out,
             events_out,
+            slo_out,
         ),
         Command::Strategies { app, hours, seed } => strategies(&app, hours, seed),
         Command::Timeline {
@@ -110,6 +112,7 @@ fn crowd(
     shards: Option<usize>,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    slo_out: Option<String>,
 ) {
     println!("crowd: {phones} phones ({relays} relays), {area} m side, {hours} h, seed {seed}\n");
     let grid = hbr_bench::cell_grid(area);
@@ -147,6 +150,7 @@ fn crowd(
                 faults: faults.clone(),
                 trace_capacity: trace,
                 telemetry,
+                reliable: true,
                 shards,
             })
         })
@@ -162,6 +166,7 @@ fn crowd(
         metrics_out.as_deref(),
         events_out.as_deref(),
     );
+    write_slo(&runs, &reports, slo_out.as_deref());
     if reports.len() == 2 {
         let (base, fw) = (&reports[0], &reports[1]);
         println!("── comparison ──");
@@ -216,6 +221,48 @@ fn write_telemetry(
             Ok(()) => println!("events   : wrote {path} ({lines} event line(s))"),
             Err(e) => eprintln!("error: cannot write events to {path}: {e}"),
         }
+    }
+}
+
+/// Writes the delivery-SLO report of the d2d run as one line of
+/// deterministic JSON. Crowd runs always carry the reliable-delivery
+/// ledger, so the report exists whenever a d2d leg ran; `--mode
+/// original` has none, which is reported instead of writing an empty
+/// file. The line is byte-identical across shard counts and reruns, so
+/// CI can `cmp` two runs directly.
+fn write_slo(runs: &[(&str, Mode)], reports: &[ScenarioReport], slo_out: Option<&str>) {
+    let Some(path) = slo_out else { return };
+    let Some((_, report)) = runs
+        .iter()
+        .zip(reports)
+        .find(|((_, m), _)| *m == Mode::D2dFramework)
+    else {
+        eprintln!("error: --slo-out needs a d2d run, but only the original baseline ran");
+        return;
+    };
+    let Some(d) = &report.delivery else {
+        eprintln!("error: the d2d run carried no delivery ledger; cannot write {path}");
+        return;
+    };
+    let json = format!(
+        "{{\"generated\":{},\"delivered\":{},\"duplicates\":{},\"expired\":{},\
+         \"dropped_dead\":{},\"in_flight\":{},\"retries\":{},\"handovers\":{},\
+         \"requeued\":{},\"delivery_ratio\":{:.6},\"false_dead_seconds\":{:.3}}}\n",
+        d.generated,
+        d.delivered,
+        report.duplicates,
+        d.expired,
+        d.dropped_dead,
+        d.in_flight,
+        d.retries,
+        d.handovers,
+        d.requeued,
+        d.ratio(),
+        d.false_dead_secs,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("slo      : wrote {path}"),
+        Err(e) => eprintln!("error: cannot write SLO report to {path}: {e}"),
     }
 }
 
@@ -284,6 +331,7 @@ mod tests {
             shards: None,
             metrics_out: None,
             events_out: None,
+            slo_out: None,
         });
     }
 
@@ -303,6 +351,7 @@ mod tests {
             shards: None,
             metrics_out: None,
             events_out: None,
+            slo_out: None,
         });
     }
 
@@ -326,6 +375,7 @@ mod tests {
             shards: None,
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             events_out: Some(events.to_string_lossy().into_owned()),
+            slo_out: None,
         });
         let json = std::fs::read_to_string(&metrics).unwrap();
         assert!(json.starts_with("{\"counters\":{"));
@@ -345,6 +395,47 @@ mod tests {
             device: None,
         });
         for p in [&metrics, &prom, &events] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn crowd_writes_a_deterministic_slo_report() {
+        let dir = std::env::temp_dir();
+        let slo_a = dir.join(format!("hbr_cli_slo_a_{}.json", std::process::id()));
+        let slo_b = dir.join(format!("hbr_cli_slo_b_{}.json", std::process::id()));
+        let crowd = |slo: &std::path::Path, shards: Option<usize>| {
+            run(Command::Crowd {
+                phones: 6,
+                relays: 2,
+                hours: 1,
+                area: 15.0,
+                seed: 3,
+                push_mins: 0,
+                mode: CrowdMode::D2d,
+                faults: crate::args::parse_fault_spec("outage@600+120").unwrap(),
+                trace: 0,
+                shards,
+                metrics_out: None,
+                events_out: None,
+                slo_out: Some(slo.to_string_lossy().into_owned()),
+            });
+        };
+        crowd(&slo_a, Some(1));
+        crowd(&slo_b, Some(2));
+        let a = std::fs::read_to_string(&slo_a).unwrap();
+        let b = std::fs::read_to_string(&slo_b).unwrap();
+        assert_eq!(a, b, "SLO report must not depend on the shard count");
+        for key in [
+            "\"generated\":",
+            "\"delivered\":",
+            "\"duplicates\":0",
+            "\"delivery_ratio\":",
+            "\"false_dead_seconds\":",
+        ] {
+            assert!(a.contains(key), "missing {key} in SLO report: {a}");
+        }
+        for p in [&slo_a, &slo_b] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -65,7 +65,7 @@ fn plausible_faults(cause: &str) -> &'static [&'static str] {
         "blackout" => &["discovery-blackout"],
         "no-relay" => &["discovery-blackout", "relay-departure"],
         "d2d-down" => &["link-drop", "relay-departure"],
-        "feedback-timeout" => &[
+        "feedback-timeout" | "retry-exhausted" => &[
             "payload-loss",
             "link-degrade",
             "link-drop",
@@ -196,6 +196,8 @@ fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
                 "fault" => "fault",
                 "energy" => "energy",
                 "pulse" => "pulse",
+                "retry" => "retry",
+                "handover" => "handover",
                 _ => "other",
             })
             .or_insert(0) += 1;
@@ -277,13 +279,27 @@ fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
                 entry.str("group"),
             ),
             "pulse" => format!(
-                "fleet pulse (epoch {}, {} cell(s)): {} forwards, {} fallbacks, {} outage-queued, {} L3 msgs",
+                "fleet pulse (epoch {}, {} cell(s)): {} forwards, {} fallbacks, {} outage-queued, {} L3 msgs, {} delivered, {} retries",
                 entry.num("epoch"),
                 entry.num("cells"),
                 entry.num("forwards"),
                 entry.num("fallbacks"),
                 entry.num("outage_queued"),
                 entry.num("l3"),
+                entry.num("delivered"),
+                entry.num("retries"),
+            ),
+            "retry" => format!(
+                "device {} scheduled a D2D retransmission, attempt {} ({})",
+                entry.num("device"),
+                entry.num("attempt"),
+                entry.str("cause"),
+            ),
+            "handover" => format!(
+                "device {} handed its pending heartbeat over from relay {} to relay {}",
+                entry.num("device"),
+                entry.num("from_relay"),
+                entry.num("to_relay"),
             ),
             other => format!("unrecognized event kind {other:?}"),
         };
@@ -432,13 +448,39 @@ mod tests {
     #[test]
     fn pulse_events_render_fleet_counters() {
         let sample = "{\"t_us\":3600000000,\"event\":\"pulse\",\"epoch\":4,\"cells\":9,\
-                      \"forwards\":120,\"fallbacks\":3,\"outage_queued\":0,\"l3\":88}\n";
+                      \"forwards\":120,\"fallbacks\":3,\"outage_queued\":0,\"l3\":88,\
+                      \"delivered\":117,\"retries\":2}\n";
         let out = render(sample, q(None, None)).unwrap();
         assert!(
-            out.contains("fleet pulse (epoch 4, 9 cell(s)): 120 forwards, 3 fallbacks, 0 outage-queued, 88 L3 msgs"),
+            out.contains("fleet pulse (epoch 4, 9 cell(s)): 120 forwards, 3 fallbacks, 0 outage-queued, 88 L3 msgs, 117 delivered, 2 retries"),
             "missing pulse line in:\n{out}"
         );
         assert!(out.contains("pulse ×1"));
+    }
+
+    #[test]
+    fn retry_and_handover_events_render_with_causes() {
+        let sample = "\
+{\"t_us\":1800000000,\"event\":\"fault\",\"index\":0,\"kind\":\"link-drop\",\"device\":7}
+{\"t_us\":1803000000,\"event\":\"retry\",\"device\":7,\"cause\":\"transfer-failed\",\"attempt\":1}
+{\"t_us\":1810000000,\"event\":\"handover\",\"device\":7,\"from_relay\":0,\"to_relay\":2}
+{\"t_us\":1890000000,\"event\":\"fallback\",\"device\":7,\"cause\":\"retry-exhausted\"}
+";
+        let out = render(sample, q(None, None)).unwrap();
+        assert!(
+            out.contains("device 7 scheduled a D2D retransmission, attempt 1 (transfer-failed)"),
+            "missing retry line in:\n{out}"
+        );
+        assert!(
+            out.contains("device 7 handed its pending heartbeat over from relay 0 to relay 2"),
+            "missing handover line in:\n{out}"
+        );
+        // retry-exhausted fallbacks still get a causal fault annotation.
+        assert!(
+            out.contains("likely the link-drop fault injected at 1800.0 s"),
+            "missing causal annotation in:\n{out}"
+        );
+        assert!(out.contains("retry ×1") && out.contains("handover ×1"));
     }
 
     #[test]

@@ -127,6 +127,35 @@ impl FeedbackTracker {
         out
     }
 
+    /// Pops every pending forward whose deadline has passed at `now`
+    /// *without* counting them as fallbacks — the reliable-delivery
+    /// layer uses this so a timed-out forward that is successfully
+    /// retried over D2D is not double-counted as a cellular fallback.
+    pub fn take_expired(&mut self, now: SimTime) -> Vec<PendingForward> {
+        let due: Vec<MessageId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        due.iter()
+            .filter_map(|id| self.pending.remove(id))
+            .collect()
+    }
+
+    /// Removes pending forwards without counting them as confirmed *or*
+    /// fallen back. Used when a relay departs and its buffered batch is
+    /// re-queued to the delivery ledger: the stale feedback deadline
+    /// must not survive the detach (it would later fire a duplicate
+    /// cellular rescue of a heartbeat the ledger is already retrying —
+    /// the same class of bug as the PR-4 stale `FlushDeadline`).
+    /// Returns how many ids were actually pending.
+    pub fn retract<I: IntoIterator<Item = MessageId>>(&mut self, ids: I) -> usize {
+        ids.into_iter()
+            .filter(|id| self.pending.remove(id).is_some())
+            .count()
+    }
+
     /// Forwards currently awaiting feedback.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
@@ -245,6 +274,38 @@ mod tests {
         };
         let deadline = t.on_forward(hopeless, SimTime::from_secs(10));
         assert_eq!(deadline, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn take_expired_does_not_count_fallbacks() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let h = hb(&mut ids);
+        t.on_forward(h, SimTime::from_secs(10));
+        let due = t.take_expired(SimTime::from_secs(40));
+        assert_eq!(due.len(), 1);
+        assert_eq!(t.fallbacks(), 0, "retry path is not a fallback");
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn retract_removes_without_confirming_or_counting() {
+        let mut t = tracker();
+        let mut ids = MessageIdGen::new();
+        let a = hb(&mut ids);
+        let b = hb(&mut ids);
+        t.on_forward(a, SimTime::from_secs(0));
+        t.on_forward(b, SimTime::from_secs(0));
+        assert_eq!(t.retract([a.id]), 1);
+        assert_eq!(t.retract([a.id]), 0, "already gone");
+        assert_eq!(t.pending_count(), 1);
+        assert_eq!(t.confirmed(), 0);
+        assert_eq!(t.fallbacks(), 0);
+        // The retracted deadline no longer fires.
+        assert!(t
+            .expire_due(SimTime::from_secs(30))
+            .iter()
+            .all(|p| p.heartbeat.id == b.id));
     }
 
     #[test]

@@ -292,11 +292,32 @@ impl InvariantChecker {
         });
     }
 
+    /// Ledger audit for the reliable-delivery layer: counts of
+    /// (delivered, expired, dropped-dead, still-in-flight) fates across
+    /// every emitted heartbeat. Only meaningful when the checker is
+    /// enabled (all zeros otherwise). The exactly-once SLO is
+    /// `delivered + expired + dropped_dead + in_flight == emitted`,
+    /// which holds by construction of the fate map — the interesting
+    /// assertion for callers is that under a finished chaos run
+    /// `in_flight` matches the surviving buffers and nothing else.
+    pub fn delivery_audit(&self) -> DeliveryAudit {
+        let mut audit = DeliveryAudit::default();
+        for fate in self.ledger.values() {
+            match fate {
+                HbFate::InFlight => audit.in_flight += 1,
+                HbFate::Delivered => audit.delivered += 1,
+                HbFate::Expired => audit.expired += 1,
+                HbFate::DroppedDead => audit.dropped_dead += 1,
+            }
+        }
+        audit
+    }
+
     /// End-of-run conservation audit: every heartbeat still marked
     /// in-flight must sit in one of the surviving buffers (`surviving`
     /// is the union of scheduler buffers, own-pending sets, link queues,
-    /// feedback trackers and the outage queue). Anything else vanished
-    /// silently.
+    /// feedback trackers, the delivery ledger and the outage queue).
+    /// Anything else vanished silently.
     pub fn on_finish(&mut self, surviving: &HashSet<MessageId>, tracer: &Tracer) {
         if !self.enabled {
             return;
@@ -311,6 +332,20 @@ impl InvariantChecker {
             }
         }
     }
+}
+
+/// Fate tallies from [`InvariantChecker::delivery_audit`]: every emitted
+/// heartbeat counted under exactly one terminal (or in-flight) state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryAudit {
+    /// Accepted by an IM server exactly once.
+    pub delivered: u64,
+    /// Rejected by the server past `T_k` (accounted, not lost).
+    pub expired: u64,
+    /// Died with a depleted device — the one legal disappearance.
+    pub dropped_dead: u64,
+    /// Still sitting in a buffer when the audit ran.
+    pub in_flight: u64,
 }
 
 fn fail(tracer: &Tracer, at: SimTime, msg: &str) -> ! {
@@ -412,6 +447,39 @@ mod tests {
         c.on_emitted(&m);
         let surviving: HashSet<MessageId> = [m.id].into_iter().collect();
         c.on_finish(&surviving, &tracer);
+    }
+
+    #[test]
+    fn delivery_audit_counts_each_fate_once() {
+        let mut c = InvariantChecker::new(true);
+        let mut ids = hbr_apps::MessageIdGen::new();
+        let tracer = Tracer::with_capacity(0);
+        let delivered = hb(&mut ids, 0);
+        let expired = hb(&mut ids, 0);
+        let in_flight = hb(&mut ids, 0);
+        let dead = hb(&mut ids, 0);
+        c.on_emitted(&delivered);
+        c.on_emitted(&expired);
+        c.on_emitted(&in_flight);
+        c.on_emitted(&dead);
+        c.on_delivery(&delivered, SimTime::from_secs(10), true, &tracer);
+        c.on_delivery(&expired, SimTime::from_secs(2000), false, &tracer);
+        c.on_dropped_dead(&dead);
+        let audit = c.delivery_audit();
+        assert_eq!(
+            audit,
+            DeliveryAudit {
+                delivered: 1,
+                expired: 1,
+                dropped_dead: 1,
+                in_flight: 1,
+            }
+        );
+        assert_eq!(
+            audit.delivered + audit.expired + audit.dropped_dead + audit.in_flight,
+            4,
+            "exactly-once accounting"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod config;
+pub mod delivery;
 pub mod detector;
 pub mod experiment;
 pub mod feedback;
@@ -57,9 +58,10 @@ pub mod scheduler;
 pub mod world;
 
 pub use config::FrameworkConfig;
+pub use delivery::{BackoffPolicy, DeliveryLedger, DeliveryState, RetryReason};
 pub use detector::{D2dDetector, MatchDecision, RelayAdvert};
 pub use feedback::{FeedbackTracker, PendingForward};
 pub use incentive::RewardLedger;
-pub use invariant::{DeviceProbe, InvariantChecker};
+pub use invariant::{DeliveryAudit, DeviceProbe, InvariantChecker};
 pub use monitor::MessageMonitor;
 pub use scheduler::{FlushReason, MessageScheduler, ScheduleDecision, SchedulerStats};

@@ -233,6 +233,22 @@ pub fn fault_stream_seed(scenario_seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of the dedicated *retry* RNG stream (backoff jitter
+/// for the reliable-delivery layer) from the scenario seed. Same
+/// splitmix64 finalizer shape as [`fault_stream_seed`] but a different
+/// stream tag, so the two streams are decorrelated from each other and
+/// from the scenario streams. The retry stream is only drawn from when a
+/// retransmission is actually scheduled, so clean (fault-free) runs
+/// consume zero draws and golden traces stay byte-identical.
+pub fn retry_stream_seed(scenario_seed: u64) -> u64 {
+    let mut z = scenario_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD2D0_ACC0_0000_0002);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +296,15 @@ mod tests {
             assert_ne!(fault_stream_seed(seed), seed);
         }
         assert_ne!(fault_stream_seed(1), fault_stream_seed(2));
+    }
+
+    #[test]
+    fn retry_stream_is_distinct_from_fault_and_scenario_streams() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_ne!(retry_stream_seed(seed), seed);
+            assert_ne!(retry_stream_seed(seed), fault_stream_seed(seed));
+        }
+        assert_ne!(retry_stream_seed(1), retry_stream_seed(2));
     }
 
     #[test]

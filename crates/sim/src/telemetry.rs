@@ -453,6 +453,29 @@ pub enum TelemetryEvent {
         /// `"no-relay"`, `"relay-rejected"`).
         cause: &'static str,
     },
+    /// The reliable-delivery layer scheduled a D2D retransmission for a
+    /// heartbeat whose first attempt failed (transfer loss, feedback
+    /// miss, or relay departure).
+    Retry {
+        /// The source device whose heartbeat is being retried.
+        device: u32,
+        /// Why (`"transfer-failed"`, `"feedback-timeout"`,
+        /// `"relay-departed"`).
+        cause: &'static str,
+        /// 1-based retransmission attempt number.
+        attempt: u32,
+    },
+    /// A UE re-matched to a different relay after its previous one
+    /// failed it (departure or feedback timeout) — one hop, then the
+    /// cellular fallback.
+    Handover {
+        /// The UE performing the handover.
+        device: u32,
+        /// The relay that failed it.
+        from_relay: u32,
+        /// The newly matched relay.
+        to_relay: u32,
+    },
     /// A fault-plan entry fired.
     FaultInjected {
         /// The entry's index in the [`FaultPlan`](crate::fault::FaultPlan).
@@ -488,6 +511,12 @@ pub enum TelemetryEvent {
         outage_queued: u64,
         /// Cumulative layer-3 messages across every cell.
         l3: u64,
+        /// Cumulative server-accepted heartbeats (reliable-delivery
+        /// ledger; 0 when the layer is off).
+        delivered: u64,
+        /// Cumulative D2D retransmissions scheduled by the
+        /// reliable-delivery layer.
+        retries: u64,
     },
 }
 
@@ -500,6 +529,8 @@ impl TelemetryEvent {
             TelemetryEvent::RelayMatch { .. } => "match",
             TelemetryEvent::RelayDepart { .. } => "depart",
             TelemetryEvent::Fallback { .. } => "fallback",
+            TelemetryEvent::Retry { .. } => "retry",
+            TelemetryEvent::Handover { .. } => "handover",
             TelemetryEvent::FaultInjected { .. } => "fault",
             TelemetryEvent::EnergyPhase { .. } => "energy",
             TelemetryEvent::FleetPulse { .. } => "pulse",
@@ -514,6 +545,8 @@ impl TelemetryEvent {
             | TelemetryEvent::RelayMatch { device, .. }
             | TelemetryEvent::RelayDepart { device, .. }
             | TelemetryEvent::Fallback { device, .. }
+            | TelemetryEvent::Retry { device, .. }
+            | TelemetryEvent::Handover { device, .. }
             | TelemetryEvent::EnergyPhase { device, .. } => Some(*device),
             TelemetryEvent::FaultInjected { device, .. } => *device,
             TelemetryEvent::FleetPulse { .. } => None,
@@ -528,11 +561,21 @@ impl TelemetryEvent {
             TelemetryEvent::Flush { device, .. }
             | TelemetryEvent::RrcTransition { device, .. }
             | TelemetryEvent::Fallback { device, .. }
+            | TelemetryEvent::Retry { device, .. }
             | TelemetryEvent::EnergyPhase { device, .. } => *device = map(*device),
             TelemetryEvent::RelayMatch { device, relay }
             | TelemetryEvent::RelayDepart { device, relay } => {
                 *device = map(*device);
                 *relay = map(*relay);
+            }
+            TelemetryEvent::Handover {
+                device,
+                from_relay,
+                to_relay,
+            } => {
+                *device = map(*device);
+                *from_relay = map(*from_relay);
+                *to_relay = map(*to_relay);
             }
             TelemetryEvent::FaultInjected { device, .. } => {
                 if let Some(d) = device.as_mut() {
@@ -598,6 +641,27 @@ impl EventRecord {
             TelemetryEvent::Fallback { device, cause } => {
                 let _ = write!(out, ",\"device\":{device},\"cause\":{}", json_string(cause));
             }
+            TelemetryEvent::Retry {
+                device,
+                cause,
+                attempt,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"device\":{device},\"cause\":{},\"attempt\":{attempt}",
+                    json_string(cause)
+                );
+            }
+            TelemetryEvent::Handover {
+                device,
+                from_relay,
+                to_relay,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"device\":{device},\"from_relay\":{from_relay},\"to_relay\":{to_relay}"
+                );
+            }
             TelemetryEvent::FaultInjected {
                 index,
                 kind,
@@ -623,10 +687,12 @@ impl EventRecord {
                 fallbacks,
                 outage_queued,
                 l3,
+                delivered,
+                retries,
             } => {
                 let _ = write!(
                     out,
-                    ",\"epoch\":{epoch},\"cells\":{cells},\"forwards\":{forwards},\"fallbacks\":{fallbacks},\"outage_queued\":{outage_queued},\"l3\":{l3}"
+                    ",\"epoch\":{epoch},\"cells\":{cells},\"forwards\":{forwards},\"fallbacks\":{fallbacks},\"outage_queued\":{outage_queued},\"l3\":{l3},\"delivered\":{delivered},\"retries\":{retries}"
                 );
             }
         }
@@ -1003,6 +1069,16 @@ mod tests {
                 device: 3,
                 cause: "feedback-timeout",
             },
+            TelemetryEvent::Retry {
+                device: 3,
+                cause: "transfer-failed",
+                attempt: 2,
+            },
+            TelemetryEvent::Handover {
+                device: 3,
+                from_relay: 0,
+                to_relay: 5,
+            },
             TelemetryEvent::FaultInjected {
                 index: 0,
                 kind: "cellular-outage",
@@ -1012,6 +1088,16 @@ mod tests {
                 device: 4,
                 group: "Cellular",
                 uah: 1234.5,
+            },
+            TelemetryEvent::FleetPulse {
+                epoch: 1,
+                cells: 4,
+                forwards: 10,
+                fallbacks: 2,
+                outage_queued: 0,
+                l3: 12,
+                delivered: 11,
+                retries: 1,
             },
         ];
         for event in events {

@@ -79,17 +79,21 @@ impl Tracer {
 
     /// Records one entry (a no-op when disabled).
     ///
-    /// Entries must arrive in nondecreasing time order — the simulation
-    /// clock only moves forward — which is what lets
+    /// Stored times are clamped to nondecreasing order — the event loop
+    /// only moves forward, but a handler may stamp a completion instant
+    /// a hair ahead of still-queued events — which is what lets
     /// [`between`](Self::between) binary-search the ring.
     pub fn record(&mut self, time: SimTime, label: &'static str, detail: impl Into<String>) {
         if self.capacity == 0 {
             return;
         }
-        debug_assert!(
-            self.entries.back().is_none_or(|last| last.time <= time),
-            "trace entries must be recorded in time order"
-        );
+        // Entries arrive in *event* order, which is almost — but not
+        // exactly — time order: a handler acting at a transfer's
+        // completion instant (e.g. a capacity flush at packet arrival)
+        // stamps a time slightly ahead of events still queued before
+        // that instant. Clamp to nondecreasing so `between` can keep
+        // binary-searching; the skew is bounded by one transfer.
+        let time = self.entries.back().map_or(time, |last| last.time.max(time));
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
@@ -221,6 +225,23 @@ mod tests {
         assert_eq!(
             t.between(SimTime::ZERO, SimTime::from_secs(100)).count(),
             t.len()
+        );
+    }
+
+    #[test]
+    fn out_of_order_entry_is_clamped_to_keep_the_ring_sorted() {
+        let mut t = Tracer::with_capacity(8);
+        // A handler acting at a transfer-completion instant stamps a
+        // time ahead of events still queued before it.
+        t.record(SimTime::from_secs(10), "flush", "at completion");
+        t.record(SimTime::from_secs(9), "tick", "queued earlier");
+        let times: Vec<_> = t.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+        // The clamped ring stays binary-searchable.
+        assert_eq!(
+            t.between(SimTime::from_secs(10), SimTime::from_secs(11))
+                .count(),
+            2
         );
     }
 

@@ -267,6 +267,157 @@ fn cellular_outage_queues_and_drains_without_session_loss() {
     assert!(report.delivered > 0);
 }
 
+/// A faulted config with the reliable-delivery ledger and telemetry
+/// registry on, so each fault kind can be pinned to the *labelled*
+/// counter it must move — not just the coarse `offline == 0 && rrc > 0`
+/// signal the legacy tests check.
+fn reliable_config(seed: u64) -> ScenarioConfig {
+    let mut config = base_config(seed);
+    config.reliable_delivery = true;
+    config.telemetry = true;
+    config
+}
+
+/// The exactly-once ledger identity every faulted run must satisfy.
+fn assert_delivery_accounted(report: &d2d_heartbeat::core::world::ScenarioReport) {
+    let d = report.delivery.as_ref().expect("reliable run");
+    assert_eq!(
+        d.delivered + d.expired + d.dropped_dead + d.in_flight,
+        d.generated,
+        "ledger accounting must balance: {d:?}"
+    );
+    assert_eq!(d.false_dead_secs, 0.0, "no live client may look dead");
+}
+
+#[test]
+fn blackout_fallbacks_carry_the_blackout_cause_label() {
+    let mut config = reliable_config(31);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.faults.schedule(
+        SimTime::ZERO,
+        FaultKind::DiscoveryBlackout {
+            duration: SimDuration::from_secs(900),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert!(
+        report
+            .metrics
+            .counter("hbr_fallback_total{cause=\"blackout\"}")
+            > 0,
+        "blackout fallbacks must be labelled with their cause"
+    );
+    assert_delivery_accounted(&report);
+}
+
+#[test]
+fn link_drop_fallbacks_carry_the_d2d_down_cause_label() {
+    let mut config = reliable_config(32);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::LinkDrop {
+            device: DeviceId::new(1),
+            d2d_down_for: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert!(
+        report
+            .metrics
+            .counter("hbr_fallback_total{cause=\"d2d-down\"}")
+            > 0,
+        "a dropped D2D link must surface as d2d-down fallbacks"
+    );
+    assert_eq!(report.duplicates, 0);
+    assert_delivery_accounted(&report);
+}
+
+#[test]
+fn degraded_link_retries_are_counted_as_transfer_failures() {
+    let mut config = reliable_config(33);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::LinkDegrade {
+            device: DeviceId::new(1),
+            extra_loss: 1.0,
+            duration: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert!(
+        report
+            .metrics
+            .counter("hbr_delivery_retry_total{reason=\"transfer-failed\"}")
+            > 0,
+        "failed transfers must schedule labelled D2D retries"
+    );
+    let d = report.delivery.as_ref().unwrap();
+    assert!(d.retries > 0, "the ledger must count the retries");
+    assert_eq!(report.duplicates, 0);
+    assert_delivery_accounted(&report);
+}
+
+#[test]
+fn payload_loss_retries_are_counted_as_feedback_timeouts() {
+    let mut config = reliable_config(34);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.faults.schedule(
+        SimTime::from_secs(1000),
+        FaultKind::PayloadLoss {
+            device: DeviceId::new(1),
+            probability: 1.0,
+            duration: SimDuration::from_secs(1200),
+        },
+    );
+    let report = Scenario::new(config).run();
+    assert!(
+        report
+            .metrics
+            .counter("hbr_delivery_retry_total{reason=\"feedback-timeout\"}")
+            > 0,
+        "silently lost payloads must surface as feedback-timeout retries"
+    );
+    assert_eq!(report.duplicates, 0);
+    assert_delivery_accounted(&report);
+}
+
+#[test]
+fn relay_departure_requeues_are_counted_and_labelled() {
+    let mut config = reliable_config(35);
+    config.add_device(device(Role::Relay, 0.0, None));
+    config.add_device(device(Role::Ue, 1.0, None));
+    config.add_device(device(Role::Ue, 2.0, None));
+    // Several departure/rejoin cycles at varying phases of the 270 s
+    // heartbeat period so at least one catches a buffered batch.
+    for at in [1700u64, 2905, 4110, 5315] {
+        config.faults.schedule(
+            SimTime::from_secs(at),
+            FaultKind::RelayDeparture {
+                device: DeviceId::new(0),
+                rejoin_after: Some(SimDuration::from_secs(400)),
+            },
+        );
+    }
+    let report = Scenario::new(config).run();
+    assert!(
+        report
+            .metrics
+            .counter("hbr_delivery_retry_total{reason=\"relay-departed\"}")
+            > 0,
+        "a departing relay's batch must be re-queued as labelled retries"
+    );
+    let d = report.delivery.as_ref().unwrap();
+    assert!(d.requeued > 0, "the ledger must count the re-queued batch");
+    assert_eq!(report.duplicates, 0);
+    assert_delivery_accounted(&report);
+}
+
 #[test]
 fn dead_ue_simply_goes_silent() {
     let mut config = base_config(13);

@@ -82,6 +82,7 @@ fn artifacts(fleet: &Fleet, shards: usize) -> (String, String, String) {
         faults: faults_for(fleet),
         trace_capacity: 0,
         telemetry: true,
+        reliable: true,
         shards: Some(shards),
     });
     let events: String = report.events.iter().map(|r| r.to_jsonl() + "\n").collect();
@@ -112,4 +113,36 @@ proptest! {
         let oversubscribed = artifacts(&fleet, 64);
         prop_assert_eq!(baseline, oversubscribed);
     }
+}
+
+/// Regression: the stock CLI crowd (40 phones, 8 relays, area 40 m,
+/// seed 7) panicked with "transfer on a link that is not ready" — a
+/// delivery retry fired while the relay link was still establishing,
+/// the redelivery path detached and re-matched, and the orphaned
+/// `LinkReady` event then forwarded over the new, unfinished link.
+/// Retries now queue behind an establishing link to a healthy relay,
+/// and stale `LinkReady` events are skipped.
+#[test]
+fn retry_during_link_establishment_does_not_panic() {
+    let report = run_crowd(&CrowdConfig {
+        phones: 40,
+        relays: 8,
+        hours: 1,
+        area_side_m: 40.0,
+        seed: 7,
+        push_mins: 0,
+        mode: Mode::D2dFramework,
+        faults: FaultPlan::new(),
+        trace_capacity: 0,
+        telemetry: true,
+        reliable: true,
+        shards: Some(1),
+    });
+    let delivery = report.delivery.expect("reliable run reports delivery");
+    assert_eq!(
+        delivery.generated,
+        delivery.delivered + delivery.expired + delivery.dropped_dead + delivery.in_flight
+    );
+    assert_eq!(delivery.expired, 0);
+    assert_eq!(delivery.dropped_dead, 0);
 }

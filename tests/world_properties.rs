@@ -3,12 +3,14 @@
 //! hold.
 
 use d2d_heartbeat::apps::AppProfile;
+use d2d_heartbeat::bench::{run_crowd, CrowdConfig};
 use d2d_heartbeat::core::world::{
     DeviceSpec, Mode, Role, Scenario, ScenarioConfig, ScenarioReport,
 };
 use d2d_heartbeat::energy::PhaseGroup;
 use d2d_heartbeat::mobility::{Mobility, Position};
-use d2d_heartbeat::sim::SimDuration;
+use d2d_heartbeat::sim::fault::{FaultKind, FaultPlan};
+use d2d_heartbeat::sim::{DeviceId, SimDuration, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -45,6 +47,98 @@ fn arb_world() -> impl Strategy<Value = RandomWorld> {
 fn build(world: &RandomWorld, mode: Mode) -> ScenarioReport {
     let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), world.seed);
     config.mode = mode;
+    let apps = [
+        AppProfile::wechat(),
+        AppProfile::whatsapp(),
+        AppProfile::qq(),
+    ];
+    for i in 0..(world.relays + world.ues) {
+        let (x, y) = world.positions[i % world.positions.len()];
+        let role = if i < world.relays {
+            Role::Relay
+        } else {
+            Role::Ue
+        };
+        let app = apps[world.app_picks[i % world.app_picks.len()] as usize].clone();
+        let battery = if world.dead_relay && i == 0 {
+            Some(2.0)
+        } else {
+            None
+        };
+        config.add_device(DeviceSpec {
+            role,
+            apps: vec![app],
+            mobility: Mobility::stationary(Position::new(x, y)),
+            battery_mah: battery,
+        });
+    }
+    Scenario::new(config).run()
+}
+
+/// One entry of an arbitrary fault plan, pre-normalisation: the kind
+/// selector and raw knobs are generated, the device index is folded
+/// into range when the plan is built.
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    kind: u8,
+    at: u64,
+    dur: u64,
+    dev: u32,
+    prob: f64,
+}
+
+fn arb_fault_specs() -> impl Strategy<Value = Vec<FaultSpec>> {
+    proptest::collection::vec(
+        (0u8..6, 0u64..5400, 30u64..900, any::<u32>(), 0.0f64..=1.0).prop_map(
+            |(kind, at, dur, dev, prob)| FaultSpec {
+                kind,
+                at,
+                dur,
+                dev,
+                prob,
+            },
+        ),
+        0..4,
+    )
+}
+
+fn plan_from(specs: &[FaultSpec], phones: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for s in specs {
+        let device = DeviceId::new(s.dev % phones as u32);
+        let duration = SimDuration::from_secs(s.dur);
+        let kind = match s.kind {
+            0 => FaultKind::CellularOutage { duration },
+            1 => FaultKind::DiscoveryBlackout { duration },
+            2 => FaultKind::LinkDrop {
+                device,
+                d2d_down_for: duration,
+            },
+            3 => FaultKind::RelayDeparture {
+                device,
+                rejoin_after: (s.dur % 2 == 0).then_some(duration),
+            },
+            4 => FaultKind::LinkDegrade {
+                device,
+                extra_loss: s.prob,
+                duration,
+            },
+            _ => FaultKind::PayloadLoss {
+                device,
+                probability: s.prob,
+                duration,
+            },
+        };
+        plan.schedule(SimTime::from_secs(s.at), kind);
+    }
+    plan
+}
+
+fn build_reliable(world: &RandomWorld, specs: &[FaultSpec]) -> ScenarioReport {
+    let mut config = ScenarioConfig::new(SimDuration::from_secs(2 * 3600), world.seed);
+    config.mode = Mode::D2dFramework;
+    config.reliable_delivery = true;
+    config.faults = plan_from(specs, world.relays + world.ues);
     let apps = [
         AppProfile::wechat(),
         AppProfile::whatsapp(),
@@ -139,6 +233,32 @@ proptest! {
         }
     }
 
+    /// Under an arbitrary fault plan, every heartbeat the reliable
+    /// ledger tracked ends in exactly one terminal state: delivered
+    /// once, expired-and-accounted, died with its source, or still in
+    /// flight at the horizon. Nothing is lost, nothing counted twice.
+    #[test]
+    fn reliable_ledger_ends_in_exactly_one_terminal_state(
+        world in arb_world(),
+        specs in arb_fault_specs(),
+    ) {
+        let report = build_reliable(&world, &specs);
+        let d = report.delivery.as_ref().expect("reliable run");
+        prop_assert_eq!(
+            d.delivered + d.expired + d.dropped_dead + d.in_flight,
+            d.generated,
+            "ledger must balance: {:?}", d
+        );
+        prop_assert!(d.ratio() <= 1.0 + 1e-12);
+        prop_assert!(d.false_dead_secs >= 0.0);
+        // Retries and handovers are bounded by the backoff policy:
+        // at most max_attempts per generated heartbeat.
+        prop_assert!(d.retries <= 3 * d.generated);
+        // And the run is deterministic, ledger included.
+        let again = build_reliable(&world, &specs);
+        prop_assert_eq!(report.render(), again.render());
+    }
+
     /// Baseline worlds never report any D2D energy.
     #[test]
     fn baseline_is_pure_cellular(world in arb_world()) {
@@ -153,5 +273,53 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    // Each case runs two full crowd engines; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The reliable-delivery crowd run is byte-identical at 1 and 4
+    /// worker threads under an arbitrary fault plan — render, metrics,
+    /// event stream and the delivery ledger alike.
+    #[test]
+    fn reliable_crowd_is_thread_count_invariant(
+        seed in any::<u64>(),
+        phones in 12usize..32,
+        relays in 1usize..5,
+        specs in arb_fault_specs(),
+    ) {
+        let crowd = |shards: usize| {
+            run_crowd(&CrowdConfig {
+                phones,
+                relays,
+                hours: 1,
+                area_side_m: 220.0,
+                seed,
+                push_mins: 0,
+                mode: Mode::D2dFramework,
+                faults: plan_from(&specs, phones),
+                trace_capacity: 0,
+                telemetry: true,
+                reliable: true,
+                shards: Some(shards),
+            })
+        };
+        let one = crowd(1);
+        let four = crowd(4);
+        prop_assert_eq!(one.render(), four.render());
+        prop_assert_eq!(one.metrics.to_json(), four.metrics.to_json());
+        let lines = |r: &ScenarioReport| {
+            r.events.iter().map(|e| e.to_jsonl()).collect::<Vec<_>>().join("\n")
+        };
+        prop_assert_eq!(lines(&one), lines(&four));
+        let d1 = one.delivery.as_ref().expect("reliable crowd run");
+        let d4 = four.delivery.as_ref().expect("reliable crowd run");
+        prop_assert_eq!(format!("{d1:?}"), format!("{d4:?}"));
+        prop_assert_eq!(
+            d1.delivered + d1.expired + d1.dropped_dead + d1.in_flight,
+            d1.generated
+        );
     }
 }
