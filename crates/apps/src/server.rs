@@ -15,6 +15,33 @@ use hbr_sim::{DeviceId, SimDuration, SimTime};
 use crate::message::Heartbeat;
 use crate::profile::AppId;
 
+/// Why one delivery attempt was accepted or swallowed — the dedup
+/// observation point for conformance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Fresh, first sighting: the session timer was reset.
+    Accepted,
+    /// The exact message id was seen before (same copy re-sent, e.g.
+    /// a relay flush racing a cellular fallback of the same message).
+    DuplicateId,
+    /// A different message id but an already-accepted
+    /// `(source, app, seq)` triple — a retransmit under a fresh id.
+    DuplicateSeq,
+    /// First sighting, but past the heartbeat's expiration.
+    Expired,
+}
+
+impl std::fmt::Display for DeliveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeliveryOutcome::Accepted => "accepted",
+            DeliveryOutcome::DuplicateId => "duplicate-id",
+            DeliveryOutcome::DuplicateSeq => "duplicate-seq",
+            DeliveryOutcome::Expired => "expired",
+        })
+    }
+}
+
 /// Per-(device, app) presence tracking with expiration timers.
 ///
 /// # Examples
@@ -80,24 +107,33 @@ impl ImServer {
     /// accepted (fresh and not a duplicate); expired heartbeats are
     /// rejected and counted, duplicates are ignored.
     pub fn deliver(&mut self, hb: &Heartbeat, at: SimTime) -> bool {
+        self.deliver_observed(hb, at) == DeliveryOutcome::Accepted
+    }
+
+    /// [`ImServer::deliver`] with the dedup decision exposed: which of
+    /// the two dedup layers (message id, then `(source, app, seq)`)
+    /// swallowed a rejected delivery, or whether it arrived stale.
+    /// Conformance harnesses assert on the exact layer so a duplicate
+    /// storm cannot silently shift from seq-dedup to id-dedup.
+    pub fn deliver_observed(&mut self, hb: &Heartbeat, at: SimTime) -> DeliveryOutcome {
         if !self.seen.insert(hb.id) {
             self.duplicates += 1;
-            return false;
+            return DeliveryOutcome::DuplicateId;
         }
         if !self.seen_seq.insert((hb.source, hb.app, hb.seq)) {
             self.duplicates += 1;
-            return false;
+            return DeliveryOutcome::DuplicateSeq;
         }
         if !hb.is_fresh(at) {
             self.rejected_expired += 1;
-            return false;
+            return DeliveryOutcome::Expired;
         }
         self.history
             .entry((hb.source, hb.app))
             .or_default()
             .push(at);
         self.delivered += 1;
-        true
+        DeliveryOutcome::Accepted
     }
 
     /// Whether the session is online at `at`: the last refresh at or
@@ -206,6 +242,41 @@ mod tests {
         }
         assert_eq!(server.delivered(), 10);
         assert!(server.is_online(DeviceId::new(0), AppId::new(0), SimTime::from_secs(2700)));
+    }
+
+    #[test]
+    fn deliver_observed_names_the_dedup_layer() {
+        let mut server = ImServer::new(SimDuration::from_secs(810));
+        let mut ids = MessageIdGen::new();
+        let first = hb(&mut ids, 0, 810);
+        assert_eq!(
+            server.deliver_observed(&first, SimTime::from_secs(5)),
+            DeliveryOutcome::Accepted
+        );
+        // Same copy re-sent: caught by the id layer.
+        assert_eq!(
+            server.deliver_observed(&first, SimTime::from_secs(6)),
+            DeliveryOutcome::DuplicateId
+        );
+        // A retransmit under a fresh id but the same (source, app, seq):
+        // caught by the seq layer, never by the id layer.
+        let retransmit = Heartbeat {
+            id: ids.next_id(),
+            ..first
+        };
+        assert_eq!(
+            server.deliver_observed(&retransmit, SimTime::from_secs(7)),
+            DeliveryOutcome::DuplicateSeq
+        );
+        // First sighting past expiry.
+        let stale = hb(&mut ids, 10, 100);
+        assert_eq!(
+            server.deliver_observed(&stale, SimTime::from_secs(100)),
+            DeliveryOutcome::Expired
+        );
+        assert_eq!(server.delivered(), 1);
+        assert_eq!(server.duplicates(), 2);
+        assert_eq!(server.rejected_expired(), 1);
     }
 
     #[test]

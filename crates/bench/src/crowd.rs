@@ -161,6 +161,9 @@ pub fn run_crowd(config: &CrowdConfig) -> ScenarioReport {
         cell_config.trace_capacity = config.trace_capacity;
         cell_config.telemetry = config.telemetry;
         cell_config.reliable_delivery = config.reliable;
+        // Stamp provenance so an invariant panic inside this cell names
+        // the (seed, cell) pair that reproduces it in isolation.
+        cell_config.cell = Some(cell_index);
         if config.push_mins > 0 {
             cell_config.push_interval = Some(SimDuration::from_secs(config.push_mins * 60));
         }

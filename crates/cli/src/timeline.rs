@@ -36,6 +36,18 @@ impl Entry {
         self.fields.get("device").and_then(JsonScalar::as_u64)
     }
 
+    /// Every device id this event names, not just its `device` field:
+    /// `relay` (match/depart), and `from_relay`/`to_relay` (handover)
+    /// are device ids too — and the sharded merge remaps *all* of them
+    /// to global ids, so `--device` filtering must consult each one or
+    /// a relay's own timeline silently omits the retries/handovers it
+    /// participated in.
+    fn participants(&self) -> impl Iterator<Item = u64> + '_ {
+        ["device", "relay", "from_relay", "to_relay"]
+            .into_iter()
+            .filter_map(|key| self.fields.get(key).and_then(JsonScalar::as_u64))
+    }
+
     fn str(&self, key: &str) -> &str {
         self.fields
             .get(key)
@@ -168,11 +180,14 @@ fn render_run(out: &mut String, entries: &[Entry], query: TimelineQuery) {
         None => (0, u64::MAX),
     };
     let in_window = |e: &Entry| e.t_us >= lo_us && e.t_us <= hi_us;
-    let for_device = |e: &Entry| match (query.device, e.device()) {
-        (Some(want), Some(have)) => have == u64::from(want),
-        // Device-less events (global faults) always stay.
-        (Some(_), None) => true,
-        (None, _) => true,
+    let for_device = |e: &Entry| match query.device {
+        Some(want) => {
+            let mut named = e.participants().peekable();
+            // Device-less events (global faults) always stay; an event
+            // naming any device keeps only the timelines it names.
+            named.peek().is_none() || named.any(|have| have == u64::from(want))
+        }
+        None => true,
     };
 
     // Faults are matched against the whole run, not just the window, so
@@ -401,6 +416,47 @@ mod tests {
         assert!(!out.contains("relay 0 flushed"), "device 0 is filtered");
         assert!(out.contains("device 7 fell back"));
         assert!(out.contains("device 7 radio dch → fach after 6.5 s in dch"));
+    }
+
+    #[test]
+    fn device_filter_matches_relay_participants_after_remap() {
+        // Event stream as merged from a sharded run: the ids here are
+        // *global* (remapped) ids. Filtering on relay 12's timeline must
+        // keep the match/handover/retry events that name it in their
+        // `relay`/`from_relay`/`to_relay` fields, not only events whose
+        // `device` field happens to equal 12.
+        let merged = "\
+{\"run\":\"d2d-framework\",\"t_us\":5000000,\"event\":\"match\",\"device\":40,\"relay\":12}
+{\"run\":\"d2d-framework\",\"t_us\":6000000,\"event\":\"retry\",\"device\":40,\"attempt\":1,\"cause\":\"transfer-failed\"}
+{\"run\":\"d2d-framework\",\"t_us\":7000000,\"event\":\"handover\",\"device\":40,\"from_relay\":12,\"to_relay\":13}
+{\"run\":\"d2d-framework\",\"t_us\":8000000,\"event\":\"flush\",\"device\":13,\"reason\":\"period\",\"buffered\":1,\"own\":1,\"bytes\":148}
+";
+        let out = render(merged, q(None, Some(12))).unwrap();
+        assert!(
+            out.contains("device 40 matched relay 12"),
+            "match names relay 12, must survive its filter:\n{out}"
+        );
+        assert!(
+            out.contains("handed its pending heartbeat over from relay 12 to relay 13"),
+            "handover names relay 12 as from_relay:\n{out}"
+        );
+        assert!(
+            !out.contains("scheduled a D2D retransmission"),
+            "retry names only device 40, not relay 12:\n{out}"
+        );
+        assert!(
+            !out.contains("relay 13 flushed"),
+            "flush belongs to relay 13's timeline:\n{out}"
+        );
+        // The destination relay's timeline sees the same handover.
+        let out = render(merged, q(None, Some(13))).unwrap();
+        assert!(out.contains("handed its pending heartbeat over"));
+        assert!(out.contains("relay 13 flushed"));
+        // The UE's own timeline still shows everything it took part in.
+        let out = render(merged, q(None, Some(40))).unwrap();
+        assert!(out.contains("matched relay 12"));
+        assert!(out.contains("scheduled a D2D retransmission, attempt 1"));
+        assert!(out.contains("handed its pending heartbeat over"));
     }
 
     #[test]

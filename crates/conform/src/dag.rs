@@ -1,0 +1,503 @@
+//! The scenario-DAG engine.
+//!
+//! A conformance scenario is a directed acyclic graph of *event nodes*
+//! with happens-after edges. Node kinds:
+//!
+//! * **perturb** — an adversarial stimulus (fault, clock skew, scripted
+//!   peer misbehaviour) applied to the system under test.
+//! * **inject** — a protocol stimulus (heartbeat emission, duplicate
+//!   delivery, departure notice).
+//! * **expect** — a mid-run predicate over the system's live
+//!   [`View`](System::View); failures are recorded, not fatal, so one
+//!   broken expectation does not mask later ones.
+//! * **advance** — moves the virtual clock to an absolute instant,
+//!   firing every timer due on the way.
+//! * **require** — an end-state predicate over the quiescence
+//!   [`Snapshot`](System::Snapshot) (delivery ledger audit, invariant
+//!   checker verdict, telemetry counters).
+//!
+//! # Execution order
+//!
+//! A node is *ready* when every happens-after predecessor has executed.
+//! Among ready nodes the engine picks by **fixed kind priority** —
+//! perturb, then inject, then expect, then advance — breaking ties by
+//! **declaration order**. The rationale: at one readiness frontier an
+//! adversarial perturbation must land before the protocol stimulus it
+//! races (that *is* the interleaving being scripted), expectations
+//! observe the frontier's state before the clock moves, and the clock
+//! moves last. Alternative interleavings of the same race are expressed
+//! with explicit edges, not scheduling nondeterminism: the engine is
+//! deliberately deterministic so every scenario is byte-reproducible.
+//!
+//! # Quiescence
+//!
+//! The scenario is *quiescent* once every non-require node has
+//! executed: no stimulus is outstanding and the clock has reached the
+//! last scripted instant. Only then does the engine take the snapshot
+//! and evaluate `require` nodes, in declaration order. `require`
+//! failures (and any recorded `expect` failures) make
+//! [`DagReport::assert_ok`] panic with the full event log.
+
+use std::collections::HashSet;
+
+use hbr_sim::SimTime;
+
+/// The system a scenario drives: the real protocol components behind a
+/// scripted facade (see `StackHarness` and `WorldHarness`).
+pub trait System {
+    /// One scripted stimulus (inject and perturb nodes carry these).
+    type Stimulus;
+    /// Live state visible to mid-run `expect` predicates.
+    type View;
+    /// Final state visible to `require` predicates at quiescence.
+    type Snapshot;
+
+    /// Applies a stimulus, returning a one-line description of what
+    /// actually happened (logged into the report — part of the
+    /// byte-reproducibility surface).
+    fn apply(&mut self, stimulus: &Self::Stimulus) -> String;
+
+    /// Advances the virtual clock to `t`, firing due timers; returns a
+    /// one-line summary of the activity.
+    fn advance_to(&mut self, t: SimTime) -> String;
+
+    /// The live view for `expect` predicates.
+    fn view(&self) -> Self::View;
+
+    /// Consumes remaining activity and produces the final snapshot for
+    /// `require` predicates. Called exactly once, at quiescence.
+    fn quiesce(&mut self) -> Self::Snapshot;
+}
+
+/// Mid-run predicate: `Ok(note)` logs the note, `Err(msg)` records a
+/// failure.
+pub type ExpectFn<V> = Box<dyn Fn(&V) -> Result<String, String>>;
+/// Quiescence predicate over the final snapshot.
+pub type RequireFn<S> = Box<dyn Fn(&S) -> Result<String, String>>;
+
+enum NodeKind<S: System> {
+    Perturb(S::Stimulus),
+    Inject(S::Stimulus),
+    Expect(ExpectFn<S::View>),
+    Advance(SimTime),
+    Require(RequireFn<S::Snapshot>),
+}
+
+impl<S: System> NodeKind<S> {
+    /// Fixed execution priority among ready nodes (lower runs first);
+    /// `require` never enters the ready set — it waits for quiescence.
+    fn priority(&self) -> u8 {
+        match self {
+            NodeKind::Perturb(_) => 0,
+            NodeKind::Inject(_) => 1,
+            NodeKind::Expect(_) => 2,
+            NodeKind::Advance(_) => 3,
+            NodeKind::Require(_) => u8::MAX,
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Perturb(_) => "perturb",
+            NodeKind::Inject(_) => "inject",
+            NodeKind::Expect(_) => "expect",
+            NodeKind::Advance(_) => "advance",
+            NodeKind::Require(_) => "require",
+        }
+    }
+}
+
+struct Node<S: System> {
+    label: String,
+    kind: NodeKind<S>,
+    deps: Vec<NodeId>,
+}
+
+/// Handle to a declared node; also its declaration order.
+pub type NodeId = usize;
+
+/// A scenario under construction. Build nodes, wire happens-after
+/// edges, then [`run`](ScenarioDag::run) it against a [`System`].
+pub struct ScenarioDag<S: System> {
+    name: String,
+    nodes: Vec<Node<S>>,
+}
+
+impl<S: System> ScenarioDag<S> {
+    /// An empty scenario.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioDag {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, label: impl Into<String>, kind: NodeKind<S>) -> NodeId {
+        self.nodes.push(Node {
+            label: label.into(),
+            kind,
+            deps: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Declares a protocol stimulus.
+    pub fn inject(&mut self, label: impl Into<String>, stimulus: S::Stimulus) -> NodeId {
+        self.push(label, NodeKind::Inject(stimulus))
+    }
+
+    /// Declares an adversarial stimulus (runs before injections at the
+    /// same readiness frontier).
+    pub fn perturb(&mut self, label: impl Into<String>, stimulus: S::Stimulus) -> NodeId {
+        self.push(label, NodeKind::Perturb(stimulus))
+    }
+
+    /// Declares a clock advance to the absolute instant `t`.
+    pub fn advance(&mut self, label: impl Into<String>, t: SimTime) -> NodeId {
+        self.push(label, NodeKind::Advance(t))
+    }
+
+    /// Declares a mid-run expectation over the live view.
+    pub fn expect(
+        &mut self,
+        label: impl Into<String>,
+        predicate: impl Fn(&S::View) -> Result<String, String> + 'static,
+    ) -> NodeId {
+        self.push(label, NodeKind::Expect(Box::new(predicate)))
+    }
+
+    /// Declares a quiescence condition over the final snapshot.
+    pub fn require(
+        &mut self,
+        label: impl Into<String>,
+        predicate: impl Fn(&S::Snapshot) -> Result<String, String> + 'static,
+    ) -> NodeId {
+        self.push(label, NodeKind::Require(Box::new(predicate)))
+    }
+
+    /// Adds the happens-after edge `before → after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown ids or a self-edge. (Cycles are detected at
+    /// [`run`](ScenarioDag::run), which panics naming the stuck nodes.)
+    pub fn after(&mut self, before: NodeId, after: NodeId) {
+        assert!(
+            before < self.nodes.len() && after < self.nodes.len(),
+            "edge references undeclared node ({before} -> {after}, {} declared)",
+            self.nodes.len()
+        );
+        assert_ne!(before, after, "self-edge on node {before}");
+        if !self.nodes[after].deps.contains(&before) {
+            self.nodes[after].deps.push(before);
+        }
+    }
+
+    /// Chains `ids` in order: each happens after its predecessor.
+    pub fn chain(&mut self, ids: &[NodeId]) {
+        for pair in ids.windows(2) {
+            self.after(pair[0], pair[1]);
+        }
+    }
+
+    /// Executes the scenario to quiescence and evaluates the `require`
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the happens-after edges form a cycle (the stuck nodes
+    /// are named). Expectation/requirement *failures* do not panic
+    /// here; they are collected in the report for
+    /// [`DagReport::assert_ok`].
+    pub fn run(self, system: &mut S) -> DagReport {
+        let mut report = DagReport {
+            name: self.name,
+            lines: Vec::new(),
+            failures: Vec::new(),
+        };
+        let mut done: HashSet<NodeId> = HashSet::new();
+        let total_runnable = self
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.kind, NodeKind::Require(_)))
+            .count();
+
+        while done.len() < total_runnable {
+            let next = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(id, n)| {
+                    !matches!(n.kind, NodeKind::Require(_))
+                        && !done.contains(id)
+                        && n.deps.iter().all(|d| done.contains(d))
+                })
+                // Fixed kind priority, declaration order as tie-break.
+                .min_by_key(|(id, n)| (n.kind.priority(), *id));
+            let Some((id, node)) = next else {
+                let stuck: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(id, n)| !matches!(n.kind, NodeKind::Require(_)) && !done.contains(id))
+                    .map(|(id, n)| format!("#{id} {}", n.label))
+                    .collect();
+                panic!(
+                    "scenario '{}': happens-after edges form a cycle; stuck nodes: {}",
+                    report.name,
+                    stuck.join(", ")
+                );
+            };
+            let line = match &node.kind {
+                NodeKind::Perturb(stimulus) | NodeKind::Inject(stimulus) => system.apply(stimulus),
+                NodeKind::Advance(t) => system.advance_to(*t),
+                NodeKind::Expect(predicate) => match predicate(&system.view()) {
+                    Ok(note) => note,
+                    Err(msg) => {
+                        report
+                            .failures
+                            .push(format!("expect '{}': {msg}", node.label));
+                        format!("FAILED: {msg}")
+                    }
+                },
+                NodeKind::Require(_) => unreachable!("require nodes never enter the ready set"),
+            };
+            report.lines.push(format!(
+                "#{id:02} {:>7} [{}] {line}",
+                node.kind.kind_name(),
+                node.label
+            ));
+            done.insert(id);
+        }
+
+        // Quiescence: take the snapshot once, then evaluate requires in
+        // declaration order.
+        let snapshot = system.quiesce();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Require(predicate) = &node.kind {
+                let line = match predicate(&snapshot) {
+                    Ok(note) => note,
+                    Err(msg) => {
+                        report
+                            .failures
+                            .push(format!("require '{}': {msg}", node.label));
+                        format!("FAILED: {msg}")
+                    }
+                };
+                report
+                    .lines
+                    .push(format!("#{id:02} require [{}] {line}", node.label));
+            }
+        }
+        report
+    }
+}
+
+/// The executed scenario: an ordered event log plus collected failures.
+///
+/// The log is part of the conformance contract — running the same
+/// scenario twice (or under a different `HBR_THREADS`) must produce a
+/// byte-identical [`render`](DagReport::render).
+pub struct DagReport {
+    name: String,
+    lines: Vec<String>,
+    failures: Vec<String>,
+}
+
+impl DagReport {
+    /// The scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` when every expect and require held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The collected failures.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
+    }
+
+    /// The deterministic textual event log.
+    pub fn render(&self) -> String {
+        let mut out = format!("scenario: {}\n", self.name);
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(if self.failures.is_empty() {
+            "verdict: ok\n"
+        } else {
+            "verdict: FAILED\n"
+        });
+        out
+    }
+
+    /// Panics with the full event log unless every condition held.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.passed(),
+            "scenario '{}' failed:\n  {}\n--- event log ---\n{}",
+            self.name,
+            self.failures.join("\n  "),
+            self.render()
+        );
+    }
+}
+
+/// Runs `build` twice against fresh systems and asserts the two event
+/// logs are byte-identical — the reproducibility gate every scenario in
+/// `tests/conformance/` passes through.
+pub fn run_reproducible<S: System>(build: impl Fn() -> (ScenarioDag<S>, S)) -> DagReport {
+    let (dag, mut system) = build();
+    let first = dag.run(&mut system);
+    let (dag, mut system) = build();
+    let second = dag.run(&mut system);
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "scenario '{}' is not byte-reproducible",
+        first.name()
+    );
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy system that just logs what it is told to do.
+    #[derive(Default)]
+    struct Toy {
+        now: SimTime,
+        log: Vec<String>,
+        quiesced: bool,
+    }
+
+    impl System for Toy {
+        type Stimulus = &'static str;
+        type View = usize;
+        type Snapshot = Vec<String>;
+
+        fn apply(&mut self, stimulus: &&'static str) -> String {
+            self.log.push((*stimulus).to_string());
+            format!("applied {stimulus}")
+        }
+
+        fn advance_to(&mut self, t: SimTime) -> String {
+            assert!(t >= self.now, "clock must not move backwards");
+            self.now = t;
+            format!("now {t}")
+        }
+
+        fn view(&self) -> usize {
+            self.log.len()
+        }
+
+        fn quiesce(&mut self) -> Vec<String> {
+            assert!(!self.quiesced, "quiesce runs exactly once");
+            self.quiesced = true;
+            self.log.clone()
+        }
+    }
+
+    #[test]
+    fn priority_orders_one_frontier_and_edges_override() {
+        let mut d = ScenarioDag::new("priority");
+        // Declared inject-first, but the perturbation must still land
+        // first at the same frontier.
+        let i = d.inject("i", "inject");
+        let p = d.perturb("p", "perturb");
+        let e = d.expect("both-landed", |n: &usize| {
+            if *n == 2 {
+                Ok(String::from("2 stimuli"))
+            } else {
+                Err(format!("saw {n}"))
+            }
+        });
+        let a = d.advance("advance", SimTime::from_secs(1));
+        // A second inject forced *after* the advance by an edge.
+        let late = d.inject("late", "late-inject");
+        d.after(a, late);
+        let _ = (i, p, e);
+        let mut toy = Toy::default();
+        let report = d.run(&mut toy);
+        report.assert_ok();
+        assert_eq!(toy.log, vec!["perturb", "inject", "late-inject"]);
+        let log = report.render();
+        let order: Vec<usize> = ["[p]", "[i]", "[both-landed]", "[advance]", "[late]"]
+            .iter()
+            .map(|needle| log.find(needle).expect(needle))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "order: {log}");
+    }
+
+    #[test]
+    fn declaration_order_breaks_ties() {
+        let mut d = ScenarioDag::new("ties");
+        d.inject("first", "a");
+        d.inject("second", "b");
+        d.inject("third", "c");
+        let mut toy = Toy::default();
+        d.run(&mut toy).assert_ok();
+        assert_eq!(toy.log, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn requires_wait_for_quiescence() {
+        let mut d = ScenarioDag::new("quiescence");
+        // Declared before the injections, but must observe them all.
+        d.require("saw-everything", |log: &Vec<String>| {
+            if log.len() == 2 {
+                Ok(format!("{} stimuli", log.len()))
+            } else {
+                Err(format!("snapshot taken early: {log:?}"))
+            }
+        });
+        d.inject("one", "x");
+        d.inject("two", "y");
+        let mut toy = Toy::default();
+        d.run(&mut toy).assert_ok();
+    }
+
+    #[test]
+    fn failures_collect_instead_of_masking() {
+        let mut d = ScenarioDag::new("failures");
+        d.expect("wrong", |_: &usize| Err(String::from("nope")));
+        d.inject("still-runs", "z");
+        d.require("also-wrong", |_: &Vec<String>| Err(String::from("nah")));
+        let mut toy = Toy::default();
+        let report = d.run(&mut toy);
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 2);
+        assert_eq!(toy.log, vec!["z"], "later nodes still executed");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_named() {
+        let mut d = ScenarioDag::new("cycle");
+        let a = d.inject("a", "a");
+        let b = d.inject("b", "b");
+        d.after(a, b);
+        d.after(b, a);
+        d.run(&mut Toy::default());
+    }
+
+    #[test]
+    fn reproducibility_gate_runs_twice() {
+        let report = run_reproducible(|| {
+            let mut d = ScenarioDag::new("repro");
+            d.inject("i", "x");
+            d.advance("a", SimTime::from_secs(2));
+            d.require("done", |log: &Vec<String>| {
+                Ok(format!("{} stimuli", log.len()))
+            });
+            (d, Toy::default())
+        });
+        report.assert_ok();
+        assert!(report.render().contains("verdict: ok"));
+    }
+}

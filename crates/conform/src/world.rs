@@ -1,0 +1,154 @@
+//! World-level harness: a full event-driven [`Scenario`] (mobility,
+//! discovery, radios, faults) behind the DAG facade.
+//!
+//! Where the stack harness scripts the relay itself, this harness keeps
+//! the *entire* production engine in the loop and interleaves scripted
+//! faults against it mid-run via [`Scenario::inject_fault`] — the
+//! step-injection seam. The clock is the engine's own virtual clock
+//! ([`Scenario::run_until`] is deterministic and resumable), so the
+//! same DAG produces the same event sequence every run.
+
+use hbr_core::world::{Scenario, ScenarioConfig, ScenarioReport};
+use hbr_sim::fault::FaultKind;
+use hbr_sim::telemetry::TelemetryEvent;
+use hbr_sim::SimTime;
+
+use crate::dag::System;
+
+/// Scripted stimuli for the world harness.
+pub enum WorldStim {
+    /// Injects a fault at the absolute instant `at` (must not be in the
+    /// engine's past).
+    Fault {
+        /// When the fault fires.
+        at: SimTime,
+        /// What happens.
+        kind: FaultKind,
+    },
+}
+
+/// Live aggregates for `expect` predicates, assembled from the engine's
+/// epoch pulse and telemetry stream.
+#[derive(Debug, Clone)]
+pub struct WorldView {
+    /// The engine clock.
+    pub now: SimTime,
+    /// D2D forwards so far.
+    pub forwards: u64,
+    /// Cellular fallbacks so far.
+    pub fallbacks: u64,
+    /// Ledger-confirmed deliveries so far.
+    pub delivered: u64,
+    /// D2D retransmissions scheduled so far.
+    pub retries: u64,
+    /// Relay handovers observed in the event stream so far.
+    pub handovers: u64,
+    /// Heartbeats queued behind a cellular outage right now.
+    pub outage_queued: u64,
+}
+
+/// The world harness: owns the scenario until quiescence consumes it.
+pub struct WorldHarness {
+    scenario: Option<Scenario>,
+    horizon: SimTime,
+}
+
+impl WorldHarness {
+    /// Builds the engine from a full scenario description. Telemetry
+    /// and reliable delivery must be on — the conformance `require`s
+    /// read the delivery report and the typed event stream.
+    pub fn new(config: ScenarioConfig) -> Self {
+        assert!(
+            config.reliable_delivery && config.telemetry,
+            "conformance world scenarios need reliable_delivery + telemetry"
+        );
+        let horizon = SimTime::ZERO + config.duration;
+        WorldHarness {
+            scenario: Some(Scenario::new(config)),
+            horizon,
+        }
+    }
+
+    fn scenario(&self) -> &Scenario {
+        self.scenario.as_ref().expect("scenario already quiesced")
+    }
+
+    fn scenario_mut(&mut self) -> &mut Scenario {
+        self.scenario.as_mut().expect("scenario already quiesced")
+    }
+}
+
+impl System for WorldHarness {
+    type Stimulus = WorldStim;
+    type View = WorldView;
+    type Snapshot = ScenarioReport;
+
+    fn apply(&mut self, stimulus: &WorldStim) -> String {
+        match stimulus {
+            WorldStim::Fault { at, kind } => {
+                self.scenario_mut().inject_fault(*at, *kind);
+                format!("fault {} armed for {at}", kind.label())
+            }
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) -> String {
+        let scenario = self.scenario_mut();
+        scenario.run_until(t);
+        let pulse = scenario.pulse();
+        format!(
+            "clock -> {t}: {} forwards, {} fallbacks, {} delivered, {} retries",
+            pulse.forwards, pulse.fallbacks, pulse.delivered, pulse.retries
+        )
+    }
+
+    fn view(&self) -> WorldView {
+        let scenario = self.scenario();
+        let pulse = scenario.pulse();
+        let handovers = scenario
+            .events_so_far()
+            .iter()
+            .filter(|record| matches!(record.event, TelemetryEvent::Handover { .. }))
+            .count() as u64;
+        WorldView {
+            now: scenario.now(),
+            forwards: pulse.forwards,
+            fallbacks: pulse.fallbacks,
+            delivered: pulse.delivered,
+            retries: pulse.retries,
+            handovers,
+            outage_queued: pulse.outage_queued,
+        }
+    }
+
+    fn quiesce(&mut self) -> ScenarioReport {
+        let mut scenario = self.scenario.take().expect("scenario already quiesced");
+        scenario.run_until(self.horizon);
+        // `complete` runs the engine's own end-of-run conservation
+        // audit (InvariantChecker::on_finish) before reporting.
+        scenario.complete()
+    }
+}
+
+/// The exactly-once ledger identity every conformance world scenario
+/// requires: all fates accounted, nothing silently lost, and no live
+/// session ever read as dead.
+pub fn delivery_accounted(report: &ScenarioReport) -> Result<String, String> {
+    let d = report
+        .delivery
+        .as_ref()
+        .ok_or_else(|| String::from("no delivery report (reliable off?)"))?;
+    if d.delivered + d.expired + d.dropped_dead + d.in_flight != d.generated {
+        return Err(format!("ledger accounting does not balance: {d:?}"));
+    }
+    if d.false_dead_secs != 0.0 {
+        return Err(format!(
+            "{} s of false-dead presence: {d:?}",
+            d.false_dead_secs
+        ));
+    }
+    Ok(format!(
+        "accounted: {} generated = {} delivered + {} expired + {} dead + {} in-flight",
+        d.generated, d.delivered, d.expired, d.dropped_dead, d.in_flight
+    ))
+}

@@ -1,0 +1,82 @@
+//! Event-granularity observation seam for conformance harnesses.
+//!
+//! The conformance DAG engine (`hbr_conform`) needs to interleave
+//! protocol steps — schedule decisions, retry planning, feedback
+//! arm/confirm/retract — at event granularity and record each one
+//! deterministically, *without* perturbing the RNG streams the
+//! production paths consume. [`ProtocolHooks`] is that seam: every
+//! method has a no-op default, the hot paths in `world.rs` keep calling
+//! the plain (hook-free) entry points, and the `*_with` variants on
+//! [`MessageScheduler`](crate::MessageScheduler),
+//! [`DeliveryLedger`](crate::DeliveryLedger) and
+//! [`FeedbackTracker`](crate::FeedbackTracker) thread a `&mut dyn
+//! ProtocolHooks` through without drawing from any RNG themselves.
+//!
+//! Hooks observe; they must not mutate protocol state. The trait takes
+//! `&mut self` only so recorders can append to their own logs.
+
+use hbr_apps::{Heartbeat, MessageId};
+use hbr_sim::SimTime;
+
+use crate::scheduler::ScheduleDecision;
+
+/// Observation callbacks fired at protocol step boundaries.
+///
+/// All methods default to no-ops so harnesses implement only what they
+/// record. The same scenario driven with [`NullHooks`] and with a
+/// recorder must produce byte-identical protocol behaviour — hook
+/// implementations must not feed information back into the system
+/// under test.
+pub trait ProtocolHooks {
+    /// A scheduler accepted a heartbeat and decided whether to flush.
+    fn on_schedule_decision(&mut self, now: SimTime, hb: &Heartbeat, decision: &ScheduleDecision) {
+        let _ = (now, hb, decision);
+    }
+
+    /// The delivery ledger planned a D2D retransmission for `at`.
+    fn on_retry_planned(&mut self, id: MessageId, attempt: u32, at: SimTime, liveness: SimTime) {
+        let _ = (id, attempt, at, liveness);
+    }
+
+    /// The delivery ledger refused to plan another retry (attempts or
+    /// liveness budget exhausted); the caller will fall back.
+    fn on_retry_exhausted(&mut self, id: MessageId, attempt: u32, now: SimTime) {
+        let _ = (id, attempt, now);
+    }
+
+    /// A feedback deadline was armed for a forwarded heartbeat.
+    fn on_feedback_armed(&mut self, id: MessageId, now: SimTime, deadline: SimTime) {
+        let _ = (id, now, deadline);
+    }
+
+    /// Relay feedback confirmed `confirmed` of the delivered ids.
+    fn on_feedback_confirmed(&mut self, confirmed: usize) {
+        let _ = confirmed;
+    }
+
+    /// A retract swept `retracted` still-pending forwards (departing
+    /// relay handed its batch back); already-gone ids are not counted.
+    fn on_feedback_retracted(&mut self, retracted: usize) {
+        let _ = retracted;
+    }
+}
+
+/// The do-nothing hook set; the plain protocol entry points use this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHooks;
+
+impl ProtocolHooks for NullHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hooks_are_inert() {
+        let mut hooks = NullHooks;
+        let id = hbr_apps::MessageIdGen::new().next_id();
+        hooks.on_feedback_confirmed(3);
+        hooks.on_feedback_retracted(0);
+        hooks.on_retry_exhausted(id, 3, SimTime::ZERO);
+    }
+}

@@ -85,6 +85,10 @@ pub struct InvariantChecker {
     enabled: bool,
     ledger: HashMap<MessageId, HbFate>,
     last: Vec<Option<DeviceLast>>,
+    /// Scenario provenance (seed, shard cell) stamped into every
+    /// violation panic so a CI failure is reproducible from the log
+    /// alone.
+    context: Option<String>,
 }
 
 /// Resolves the default enablement: the `HBR_CHECK_INVARIANTS` env var
@@ -106,12 +110,23 @@ impl InvariantChecker {
             enabled,
             ledger: HashMap::new(),
             last: Vec::new(),
+            context: None,
         }
     }
 
     /// `true` if violations are being checked.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Stamps scenario provenance into every violation panic: the RNG
+    /// seed and, for sharded crowd runs, the cell index whose derived
+    /// seed reproduces the failing cell in isolation.
+    pub fn set_context(&mut self, seed: u64, cell: Option<usize>) {
+        self.context = Some(match cell {
+            Some(cell) => format!("seed={seed} cell={cell}"),
+            None => format!("seed={seed}"),
+        });
     }
 
     /// Records a heartbeat emitted by an alive device.
@@ -137,6 +152,7 @@ impl InvariantChecker {
         if accepted {
             if !hb.is_fresh(at) {
                 fail(
+                    self.context.as_deref(),
                     tracer,
                     at,
                     &format!(
@@ -151,13 +167,20 @@ impl InvariantChecker {
                     // after handing a copy to a relay that then flushed.
                     self.ledger.insert(hb.id, HbFate::Delivered);
                 }
-                Some(HbFate::Delivered) => fail(tracer, at, &format!("{} delivered twice", hb.id)),
+                Some(HbFate::Delivered) => fail(
+                    self.context.as_deref(),
+                    tracer,
+                    at,
+                    &format!("{} delivered twice", hb.id),
+                ),
                 Some(HbFate::Expired) => fail(
+                    self.context.as_deref(),
                     tracer,
                     at,
                     &format!("{} accepted after the server expired it", hb.id),
                 ),
                 None => fail(
+                    self.context.as_deref(),
                     tracer,
                     at,
                     &format!("{} delivered but never tracked as emitted", hb.id),
@@ -171,6 +194,7 @@ impl InvariantChecker {
                 Some(HbFate::InFlight) | Some(HbFate::DroppedDead) => {
                     if hb.is_fresh(at) {
                         fail(
+                            self.context.as_deref(),
                             tracer,
                             at,
                             &format!("fresh {} rejected by its server", hb.id),
@@ -179,6 +203,7 @@ impl InvariantChecker {
                     self.ledger.insert(hb.id, HbFate::Expired);
                 }
                 None => fail(
+                    self.context.as_deref(),
                     tracer,
                     at,
                     &format!("{} rejected but never tracked as emitted", hb.id),
@@ -212,6 +237,7 @@ impl InvariantChecker {
         }
         if probe.buffered > probe.capacity {
             fail(
+                self.context.as_deref(),
                 tracer,
                 now,
                 &format!(
@@ -222,6 +248,7 @@ impl InvariantChecker {
         }
         if !probe.energy_uah.is_finite() || probe.energy_uah < -EPS {
             fail(
+                self.context.as_deref(),
                 tracer,
                 now,
                 &format!(
@@ -233,6 +260,7 @@ impl InvariantChecker {
         if let Some(remaining) = probe.battery_remaining_uah {
             if !remaining.is_finite() || remaining < -EPS {
                 fail(
+                    self.context.as_deref(),
                     tracer,
                     now,
                     &format!("{} battery went negative: {remaining}", probe.device),
@@ -241,6 +269,7 @@ impl InvariantChecker {
         }
         if probe.alive && !probe.offline_exempt && !probe.online {
             fail(
+                self.context.as_deref(),
                 tracer,
                 now,
                 &format!(
@@ -255,6 +284,7 @@ impl InvariantChecker {
         if let Some(last) = self.last[index] {
             if probe.energy_uah + EPS < last.energy_uah {
                 fail(
+                    self.context.as_deref(),
                     tracer,
                     now,
                     &format!(
@@ -268,6 +298,7 @@ impl InvariantChecker {
             {
                 if cur > prev + EPS {
                     fail(
+                        self.context.as_deref(),
                         tracer,
                         now,
                         &format!("{} battery recharged itself: {prev} -> {cur}", probe.device),
@@ -276,6 +307,7 @@ impl InvariantChecker {
             }
             if !last.rrc.can_transition_to(probe.rrc) {
                 fail(
+                    self.context.as_deref(),
                     tracer,
                     now,
                     &format!(
@@ -324,10 +356,16 @@ impl InvariantChecker {
         }
         for (id, fate) in &self.ledger {
             if *fate == HbFate::InFlight && !surviving.contains(id) {
+                let audit = self.delivery_audit();
                 fail(
+                    self.context.as_deref(),
                     tracer,
                     SimTime::MAX,
-                    &format!("{id} was emitted but silently lost (no buffer holds it)"),
+                    &format!(
+                        "{id} was emitted but silently lost (no buffer holds it); \
+                         audit: delivered={} expired={} dropped_dead={} in_flight={}",
+                        audit.delivered, audit.expired, audit.dropped_dead, audit.in_flight
+                    ),
                 );
             }
         }
@@ -348,14 +386,18 @@ pub struct DeliveryAudit {
     pub in_flight: u64,
 }
 
-fn fail(tracer: &Tracer, at: SimTime, msg: &str) -> ! {
+fn fail(run: Option<&str>, tracer: &Tracer, at: SimTime, msg: &str) -> ! {
     let trace = tracer.to_text();
     let context = if trace.is_empty() {
         String::from("(tracing disabled: set trace_capacity for context)")
     } else {
         trace
     };
-    panic!("invariant violation at {at}: {msg}\nrecent trace:\n{context}");
+    let provenance = match run {
+        Some(run) => format!(" [{run}]"),
+        None => String::new(),
+    };
+    panic!("invariant violation at {at}{provenance}: {msg}\nrecent trace:\n{context}");
 }
 
 #[cfg(test)]
@@ -425,6 +467,30 @@ mod tests {
         let m = hb(&mut ids, 0);
         c.on_emitted(&m);
         c.on_delivery(&m, SimTime::from_secs(2000), true, &tracer);
+    }
+
+    #[test]
+    #[should_panic(expected = "[seed=7 cell=3]")]
+    fn conservation_panic_names_seed_and_cell() {
+        let mut c = InvariantChecker::new(true);
+        c.set_context(7, Some(3));
+        let mut ids = hbr_apps::MessageIdGen::new();
+        let tracer = Tracer::with_capacity(0);
+        let m = hb(&mut ids, 0);
+        c.on_emitted(&m);
+        c.on_finish(&HashSet::new(), &tracer);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit: delivered=0 expired=0 dropped_dead=0 in_flight=1")]
+    fn conservation_panic_carries_audit_counts() {
+        let mut c = InvariantChecker::new(true);
+        c.set_context(11, None);
+        let mut ids = hbr_apps::MessageIdGen::new();
+        let tracer = Tracer::with_capacity(0);
+        let m = hb(&mut ids, 0);
+        c.on_emitted(&m);
+        c.on_finish(&HashSet::new(), &tracer);
     }
 
     #[test]

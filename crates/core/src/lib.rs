@@ -51,6 +51,7 @@ pub mod detector;
 pub mod experiment;
 pub mod feedback;
 pub mod fleet;
+pub mod hooks;
 pub mod incentive;
 pub mod invariant;
 pub mod monitor;
@@ -61,6 +62,7 @@ pub use config::FrameworkConfig;
 pub use delivery::{BackoffPolicy, DeliveryLedger, DeliveryState, RetryReason};
 pub use detector::{D2dDetector, MatchDecision, RelayAdvert};
 pub use feedback::{FeedbackTracker, PendingForward};
+pub use hooks::{NullHooks, ProtocolHooks};
 pub use incentive::RewardLedger;
 pub use invariant::{DeliveryAudit, DeviceProbe, InvariantChecker};
 pub use monitor::MessageMonitor;

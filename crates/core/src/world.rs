@@ -123,6 +123,11 @@ pub struct ScenarioConfig {
     /// behaviour is byte-identical then, and the dedicated retry RNG
     /// stream is never drawn, so golden traces stay pinned.
     pub reliable_delivery: bool,
+    /// Which crowd-engine shard cell this scenario is, if any. Pure
+    /// provenance: it is stamped (with the seed) into invariant-
+    /// violation panics so a sharded CI failure names the cell whose
+    /// derived seed reproduces it in isolation.
+    pub cell: Option<usize>,
     /// Deliberate misbehaviour for mutation smoke tests; never set this
     /// outside tests that prove the checker catches a broken scheduler.
     #[doc(hidden)]
@@ -159,6 +164,7 @@ impl ScenarioConfig {
             check_invariants: None,
             telemetry: false,
             reliable_delivery: false,
+            cell: None,
             mutation: None,
             devices: Vec::new(),
         }
@@ -662,6 +668,8 @@ impl Scenario {
         let check = config
             .check_invariants
             .unwrap_or_else(invariant::default_enabled);
+        let mut checker = InvariantChecker::new(check);
+        checker.set_context(config.seed, config.cell);
         let telemetry = if config.telemetry {
             Telemetry::enabled()
         } else {
@@ -695,7 +703,7 @@ impl Scenario {
             backoff: BackoffPolicy::default(),
             generated: 0,
             requeued: 0,
-            checker: InvariantChecker::new(check),
+            checker,
             telemetry,
         };
 
@@ -779,6 +787,43 @@ impl Scenario {
                 .map(|d| d.delivery.stats().retries)
                 .sum(),
         }
+    }
+
+    /// The virtual clock: the time of the last event handled (or zero
+    /// before any fired). Conformance harnesses interleave injections
+    /// against this.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Injects a fault into a *running* scenario — the step-injection
+    /// seam the conformance DAG engine uses to race faults against
+    /// in-flight protocol activity, instead of declaring the whole
+    /// schedule up front in [`ScenarioConfig::faults`].
+    ///
+    /// The fault behaves exactly as if it had been in the plan from the
+    /// start: it draws from the dedicated fault stream, never from the
+    /// main RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`Scenario::now`] (the engine cannot
+    /// schedule into the past).
+    pub fn inject_fault(&mut self, at: SimTime, kind: FaultKind) {
+        let index = self.config.faults.append(at, kind);
+        self.sim.schedule_at(at, Event::FaultDue { index });
+    }
+
+    /// Read-only view of one app's IM server — presence, refresh
+    /// history and dedup counters for mid-run `expect` conditions.
+    pub fn server(&self, app: AppId) -> Option<&ImServer> {
+        self.servers.get(&app)
+    }
+
+    /// The typed telemetry events recorded so far (empty when telemetry
+    /// is disabled).
+    pub fn events_so_far(&self) -> &[EventRecord] {
+        self.telemetry.events.records()
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {

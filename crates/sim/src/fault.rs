@@ -159,6 +159,16 @@ impl FaultPlan {
         self.events.insert(pos, FaultEvent { at, kind });
     }
 
+    /// Appends an event *without* the sorted insert, returning its
+    /// stable index. Mid-run injection (`Scenario::inject_fault`)
+    /// requires this: indices already handed out to scheduled
+    /// fault-due events must keep pointing at the same entries, which
+    /// [`schedule`](Self::schedule)'s sorted insert would shift.
+    pub fn append(&mut self, at: SimTime, kind: FaultKind) -> usize {
+        self.events.push(FaultEvent { at, kind });
+        self.events.len() - 1
+    }
+
     /// Builder-style [`schedule`](Self::schedule).
     #[must_use]
     pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
